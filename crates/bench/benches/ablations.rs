@@ -1,0 +1,161 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//!
+//! * `ablation_ws_factor` — weight-scaling factor choice: none vs. fixed
+//!   `C = 2` vs. matched `C = 1/(1−p)`;
+//! * `ablation_ttas_duration` — saturation of TTAS robustness with the burst
+//!   duration `t_a`;
+//! * `ablation_threshold` — encoding-ceiling (θ) sensitivity, comparing our
+//!   default θ = 1.0 with the paper's VGG16 values;
+//! * `ablation_kernel` — PSC-kernel steepness for TTFS/TTAS (τ as a fraction
+//!   of the window).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ablation_ws_factor() {
+    let pipeline = cifar10_pipeline();
+    let sweep = bench_sweep_config();
+    let p = 0.5;
+    let noise = DeletionNoise::new(p).expect("noise");
+    println!("\n==== Ablation: weight-scaling factor at deletion p = {p} ====");
+    for (label, scaling) in [
+        ("no scaling (C=1)", WeightScaling::none()),
+        ("fixed C=2", WeightScaling::with_factor(2.0).expect("ws")),
+        (
+            "matched C=1/(1-p)",
+            WeightScaling::for_deletion_probability(p).expect("ws"),
+        ),
+    ] {
+        let summary = pipeline
+            .evaluate_snn(
+                CodingKind::Ttas(5),
+                sweep.time_steps,
+                &noise,
+                &scaling,
+                sweep.eval_samples,
+                sweep.seed,
+            )
+            .expect("evaluate");
+        println!("  {label:<22} accuracy {:.2}%", summary.accuracy_percent());
+    }
+}
+
+fn ablation_ttas_duration() {
+    let pipeline = cifar10_pipeline();
+    let sweep = bench_sweep_config();
+    println!("\n==== Ablation: TTAS burst duration saturation (deletion p=0.5, jitter σ=2) ====");
+    let deletion = DeletionNoise::new(0.5).expect("noise");
+    let jitter = JitterNoise::new(2.0).expect("noise");
+    for duration in [1u32, 2, 3, 5, 8, 10, 16] {
+        let ws = WeightScaling::for_deletion_probability(0.5).expect("ws");
+        let del = pipeline
+            .evaluate_snn(
+                CodingKind::Ttas(duration),
+                sweep.time_steps,
+                &deletion,
+                &ws,
+                sweep.eval_samples,
+                sweep.seed,
+            )
+            .expect("evaluate");
+        let jit = pipeline
+            .evaluate_snn(
+                CodingKind::Ttas(duration),
+                sweep.time_steps,
+                &jitter,
+                &WeightScaling::none(),
+                sweep.eval_samples,
+                sweep.seed,
+            )
+            .expect("evaluate");
+        println!(
+            "  t_a = {duration:<3} deletion {:.2}%   jitter {:.2}%   spikes/inference {:.2e}",
+            del.accuracy_percent(),
+            jit.accuracy_percent(),
+            del.mean_spikes_per_sample
+        );
+    }
+}
+
+fn ablation_threshold() {
+    let pipeline = cifar10_pipeline();
+    let sweep = bench_sweep_config();
+    println!("\n==== Ablation: encoding ceiling θ (clean accuracy vs spikes, rate coding) ====");
+    let snn = pipeline.to_snn(&WeightScaling::none()).expect("convert");
+    let subset = pipeline.test_subset(sweep.eval_samples).expect("subset");
+    for theta in [0.2f32, 0.4, 0.8, 1.0, 1.2] {
+        let cfg = CodingConfig::new(sweep.time_steps, theta);
+        let coding = CodingKind::Rate.build();
+        let mut rng = StdRng::seed_from_u64(sweep.seed);
+        let summary = snn
+            .evaluate(
+                &subset.inputs,
+                &subset.labels,
+                coding.as_ref(),
+                &cfg,
+                &IdentityTransform,
+                &mut rng,
+            )
+            .expect("evaluate");
+        println!(
+            "  θ = {theta:<4} accuracy {:.2}%   spikes/inference {:.2e}",
+            summary.accuracy_percent(),
+            summary.mean_spikes_per_sample
+        );
+    }
+}
+
+fn ablation_kernel() {
+    let pipeline = cifar10_pipeline();
+    let sweep = bench_sweep_config();
+    println!("\n==== Ablation: TTFS kernel time constant τ/T under jitter σ=2 ====");
+    let snn = pipeline.to_snn(&WeightScaling::none()).expect("convert");
+    let subset = pipeline.test_subset(sweep.eval_samples).expect("subset");
+    let noise = JitterNoise::new(2.0).expect("noise");
+    for fraction in [0.03f32, 0.05, 0.1, 0.2, 0.4] {
+        let mut cfg = CodingConfig::new(sweep.time_steps, 1.0);
+        cfg.ttfs_tau_fraction = fraction;
+        let coding = CodingKind::Ttfs.build();
+        let mut rng = StdRng::seed_from_u64(sweep.seed);
+        let summary = snn
+            .evaluate(
+                &subset.inputs,
+                &subset.labels,
+                coding.as_ref(),
+                &cfg,
+                &noise,
+                &mut rng,
+            )
+            .expect("evaluate");
+        println!(
+            "  τ/T = {fraction:<5} accuracy {:.2}%",
+            summary.accuracy_percent()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_ws_factor();
+    ablation_ttas_duration();
+    ablation_threshold();
+    ablation_kernel();
+
+    // Micro-benchmarks of the two counter-measures' overheads.
+    let pipeline = cifar10_pipeline();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("conversion_with_ws", |b| {
+        let ws = WeightScaling::for_deletion_probability(0.5).expect("ws");
+        b.iter(|| pipeline.to_snn(&ws).expect("convert"))
+    });
+    group.bench_function("conversion_without_ws", |b| {
+        b.iter(|| pipeline.to_snn(&WeightScaling::none()).expect("convert"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

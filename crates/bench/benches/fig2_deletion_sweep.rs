@@ -1,0 +1,65 @@
+//! Fig. 2 — inference accuracy and number of spikes with spike deletion on
+//! the CIFAR-10-like dataset for the four baseline codings (no compensation).
+//!
+//! Running `cargo bench -p nrsnn-bench --bench fig2_deletion_sweep` prints
+//! the regenerated series and benchmarks one noisy inference per coding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, print_figure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_figure() {
+    let pipeline = cifar10_pipeline();
+    let sweep = bench_sweep_config();
+    let points = deletion_sweep(
+        pipeline,
+        &CodingKind::baselines(),
+        &paper_deletion_probabilities(),
+        false,
+        &sweep,
+    )
+    .expect("fig2 sweep");
+    print_figure(
+        "Fig. 2: accuracy vs deletion probability (no WS)",
+        &points,
+        "Deletion p",
+    );
+    println!("mean spikes per inference at p=0 / p=0.5:");
+    for coding in CodingKind::baselines() {
+        let s: Vec<f32> = points
+            .iter()
+            .filter(|p| p.coding == coding && (p.noise_level == 0.0 || p.noise_level == 0.5))
+            .map(|p| p.mean_spikes)
+            .collect();
+        println!("  {:<6} {:?}", coding.label(), s);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let pipeline = cifar10_pipeline();
+    let snn = pipeline.to_snn(&WeightScaling::none()).expect("convert");
+    let input = pipeline.dataset().test.inputs.row(0).expect("row");
+    let noise = DeletionNoise::new(0.5).expect("noise");
+
+    let mut group = c.benchmark_group("fig2_deletion");
+    group.sample_size(10);
+    for coding in CodingKind::baselines() {
+        let cfg = pipeline.coding_config(coding, bench_sweep_config().time_steps);
+        let built = coding.build();
+        group.bench_function(format!("inference_{}_p0.5", coding.label()), |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| {
+                snn.simulate(input.as_slice(), built.as_ref(), &cfg, &noise, &mut rng)
+                    .expect("simulate")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

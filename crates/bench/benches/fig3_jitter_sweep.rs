@@ -1,0 +1,47 @@
+//! Fig. 3 — inference accuracy and number of spikes with spike jitter on the
+//! CIFAR-10-like dataset for the four baseline codings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, print_figure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_figure() {
+    let pipeline = cifar10_pipeline();
+    let points = jitter_sweep(
+        pipeline,
+        &CodingKind::baselines(),
+        &paper_jitter_intensities(),
+        &bench_sweep_config(),
+    )
+    .expect("fig3 sweep");
+    print_figure("Fig. 3: accuracy vs jitter intensity", &points, "Jitter sigma");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let pipeline = cifar10_pipeline();
+    let snn = pipeline.to_snn(&WeightScaling::none()).expect("convert");
+    let input = pipeline.dataset().test.inputs.row(0).expect("row");
+    let noise = JitterNoise::new(2.0).expect("noise");
+
+    let mut group = c.benchmark_group("fig3_jitter");
+    group.sample_size(10);
+    for coding in CodingKind::baselines() {
+        let cfg = pipeline.coding_config(coding, bench_sweep_config().time_steps);
+        let built = coding.build();
+        group.bench_function(format!("inference_{}_sigma2", coding.label()), |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| {
+                snn.simulate(input.as_slice(), built.as_ref(), &cfg, &noise, &mut rng)
+                    .expect("simulate")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

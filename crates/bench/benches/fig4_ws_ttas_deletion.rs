@@ -1,0 +1,58 @@
+//! Fig. 4 — inference accuracy of weight scaling (WS) and TTAS(t_a) under
+//! spike deletion on the CIFAR-10-like dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, print_figure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_figure() {
+    let pipeline = cifar10_pipeline();
+    let mut codings = CodingKind::baselines();
+    for duration in [1u32, 2, 3, 4, 5] {
+        codings.push(CodingKind::Ttas(duration));
+    }
+    let points = deletion_sweep(
+        pipeline,
+        &codings,
+        &paper_deletion_probabilities(),
+        true,
+        &bench_sweep_config(),
+    )
+    .expect("fig4 sweep");
+    print_figure(
+        "Fig. 4: weight scaling + TTAS(t_a) vs deletion probability",
+        &points,
+        "Deletion p",
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let pipeline = cifar10_pipeline();
+    let scaling = WeightScaling::for_deletion_probability(0.5).expect("ws");
+    let snn = pipeline.to_snn(&scaling).expect("convert");
+    let input = pipeline.dataset().test.inputs.row(0).expect("row");
+    let noise = DeletionNoise::new(0.5).expect("noise");
+
+    let mut group = c.benchmark_group("fig4_ws_ttas");
+    group.sample_size(10);
+    for duration in [1u32, 5] {
+        let kind = CodingKind::Ttas(duration);
+        let cfg = pipeline.coding_config(kind, bench_sweep_config().time_steps);
+        let coding = kind.build();
+        group.bench_function(format!("inference_ttas{duration}_ws_p0.5"), |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| {
+                snn.simulate(input.as_slice(), coding.as_ref(), &cfg, &noise, &mut rng)
+                    .expect("simulate")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 6 — inference accuracy of TTFS and TTAS(t_a) under spike jitter on
+//! the CIFAR-10-like dataset, showing how the burst averages the jitter out
+//! as the target duration grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, print_figure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_figure() {
+    let pipeline = cifar10_pipeline();
+    let codings = vec![
+        CodingKind::Ttfs,
+        CodingKind::Ttas(1),
+        CodingKind::Ttas(2),
+        CodingKind::Ttas(3),
+        CodingKind::Ttas(4),
+        CodingKind::Ttas(5),
+        CodingKind::Ttas(10),
+    ];
+    let points = jitter_sweep(
+        pipeline,
+        &codings,
+        &paper_jitter_intensities(),
+        &bench_sweep_config(),
+    )
+    .expect("fig6 sweep");
+    print_figure("Fig. 6: TTFS vs TTAS(t_a) under jitter", &points, "Jitter sigma");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let pipeline = cifar10_pipeline();
+    let snn = pipeline.to_snn(&WeightScaling::none()).expect("convert");
+    let input = pipeline.dataset().test.inputs.row(0).expect("row");
+    let noise = JitterNoise::new(2.0).expect("noise");
+
+    let mut group = c.benchmark_group("fig6_ttas_jitter");
+    group.sample_size(10);
+    for duration in [1u32, 5, 10] {
+        let kind = CodingKind::Ttas(duration);
+        let cfg = pipeline.coding_config(kind, bench_sweep_config().time_steps);
+        let coding = kind.build();
+        group.bench_function(format!("inference_ttas{duration}_sigma2"), |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| {
+                snn.simulate(input.as_slice(), coding.as_ref(), &cfg, &noise, &mut rng)
+                    .expect("simulate")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

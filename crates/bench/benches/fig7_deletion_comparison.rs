@@ -1,0 +1,55 @@
+//! Fig. 7 — comparison of all neural codings with and without weight scaling
+//! against the proposed TTAS(5)+WS under spike deletion (CIFAR-10-like).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, print_figure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_figure() {
+    let pipeline = cifar10_pipeline();
+    let sweep = bench_sweep_config();
+    let levels = paper_deletion_probabilities();
+
+    let unscaled = deletion_sweep(pipeline, &CodingKind::baselines(), &levels, false, &sweep)
+        .expect("fig7 unscaled sweep");
+    print_figure("Fig. 7 (left): baselines without WS", &unscaled, "Deletion p");
+
+    let mut with_ws = CodingKind::baselines();
+    with_ws.push(CodingKind::Ttas(5));
+    let scaled =
+        deletion_sweep(pipeline, &with_ws, &levels, true, &sweep).expect("fig7 scaled sweep");
+    print_figure(
+        "Fig. 7 (right): baselines + TTAS(5) with WS",
+        &scaled,
+        "Deletion p",
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let pipeline = cifar10_pipeline();
+    let scaling = WeightScaling::for_deletion_probability(0.5).expect("ws");
+    let snn = pipeline.to_snn(&scaling).expect("convert");
+    let input = pipeline.dataset().test.inputs.row(0).expect("row");
+    let noise = DeletionNoise::new(0.5).expect("noise");
+    let kind = CodingKind::Ttas(5);
+    let coding = kind.build();
+    let cfg = pipeline.coding_config(kind, bench_sweep_config().time_steps);
+
+    let mut group = c.benchmark_group("fig7_comparison");
+    group.sample_size(10);
+    group.bench_function("inference_ttas5_ws_p0.5", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            snn.simulate(input.as_slice(), coding.as_ref(), &cfg, &noise, &mut rng)
+                .expect("simulate")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 8 — comparison of all neural codings against TTAS(10) under spike
+//! jitter (CIFAR-10-like).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, print_figure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_figure() {
+    let pipeline = cifar10_pipeline();
+    let mut codings = CodingKind::baselines();
+    codings.push(CodingKind::Ttas(10));
+    let points = jitter_sweep(
+        pipeline,
+        &codings,
+        &paper_jitter_intensities(),
+        &bench_sweep_config(),
+    )
+    .expect("fig8 sweep");
+    print_figure(
+        "Fig. 8: baselines vs TTAS(10) under jitter",
+        &points,
+        "Jitter sigma",
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let pipeline = cifar10_pipeline();
+    let snn = pipeline.to_snn(&WeightScaling::none()).expect("convert");
+    let input = pipeline.dataset().test.inputs.row(0).expect("row");
+    let noise = JitterNoise::new(3.0).expect("noise");
+    let kind = CodingKind::Ttas(10);
+    let coding = kind.build();
+    let cfg = pipeline.coding_config(kind, bench_sweep_config().time_steps);
+
+    let mut group = c.benchmark_group("fig8_comparison");
+    group.sample_size(10);
+    group.bench_function("inference_ttas10_sigma3", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            snn.simulate(input.as_slice(), coding.as_ref(), &cfg, &noise, &mut rng)
+                .expect("simulate")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Table I — accuracy and number of spikes under spike deletion
+//! (clean / 0.2 / 0.5 / 0.8) for every coding + weight scaling on the
+//! MNIST-like, CIFAR-10-like and CIFAR-100-like datasets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar100_pipeline, cifar10_pipeline, mnist_pipeline};
+use nrsnn_noise::paper_table_deletion_points;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_table() {
+    let sweep = bench_sweep_config();
+    let levels = paper_table_deletion_points();
+    let mut codings = CodingKind::baselines();
+    codings.push(CodingKind::Ttas(5));
+
+    let datasets: Vec<(&str, &TrainedPipeline)> = vec![
+        ("mnist-like", mnist_pipeline()),
+        ("cifar10-like", cifar10_pipeline()),
+        ("cifar100-like", cifar100_pipeline()),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, pipeline) in datasets {
+        println!(
+            "{name}: DNN test accuracy {:.1}%",
+            pipeline.dnn_test_accuracy() * 100.0
+        );
+        let points =
+            deletion_sweep(pipeline, &codings, &levels, true, &sweep).expect("table1 sweep");
+        for &coding in &codings {
+            rows.push(Table1Row::from_points(name, &points, coding));
+        }
+    }
+    println!("\n{}", format_table1(&rows, &levels));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+
+    let pipeline = mnist_pipeline();
+    let scaling = WeightScaling::for_deletion_probability(0.5).expect("ws");
+    let snn = pipeline.to_snn(&scaling).expect("convert");
+    let input = pipeline.dataset().test.inputs.row(0).expect("row");
+    let noise = DeletionNoise::new(0.5).expect("noise");
+    let kind = CodingKind::Ttas(5);
+    let coding = kind.build();
+    let cfg = pipeline.coding_config(kind, bench_sweep_config().time_steps);
+
+    let mut group = c.benchmark_group("table1_deletion");
+    group.sample_size(10);
+    group.bench_function("mnist_inference_ttas5_ws_p0.5", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            snn.simulate(input.as_slice(), coding.as_ref(), &cfg, &noise, &mut rng)
+                .expect("simulate")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table II — accuracy under spike jitter (clean / 1.0 / 2.0 / 3.0) for the
+//! temporal codings and TTAS on the MNIST-like, CIFAR-10-like and
+//! CIFAR-100-like datasets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar100_pipeline, cifar10_pipeline, mnist_pipeline};
+use nrsnn_noise::paper_table_jitter_points;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_table() {
+    let sweep = bench_sweep_config();
+    let levels = paper_table_jitter_points();
+    let codings = vec![
+        CodingKind::Phase,
+        CodingKind::Burst,
+        CodingKind::Ttfs,
+        CodingKind::Ttas(10),
+    ];
+
+    let datasets: Vec<(&str, &TrainedPipeline)> = vec![
+        ("mnist-like", mnist_pipeline()),
+        ("cifar10-like", cifar10_pipeline()),
+        ("cifar100-like", cifar100_pipeline()),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, pipeline) in datasets {
+        let points = jitter_sweep(pipeline, &codings, &levels, &sweep).expect("table2 sweep");
+        for &coding in &codings {
+            rows.push(Table2Row::from_points(name, &points, coding));
+        }
+    }
+    println!("\n{}", format_table2(&rows, &levels));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+
+    let pipeline = mnist_pipeline();
+    let snn = pipeline.to_snn(&WeightScaling::none()).expect("convert");
+    let input = pipeline.dataset().test.inputs.row(0).expect("row");
+    let noise = JitterNoise::new(2.0).expect("noise");
+    let kind = CodingKind::Ttas(10);
+    let coding = kind.build();
+    let cfg = pipeline.coding_config(kind, bench_sweep_config().time_steps);
+
+    let mut group = c.benchmark_group("table2_jitter");
+    group.sample_size(10);
+    group.bench_function("mnist_inference_ttas10_sigma2", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            snn.simulate(input.as_slice(), coding.as_ref(), &cfg, &noise, &mut rng)
+                .expect("simulate")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

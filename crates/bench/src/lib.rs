@@ -1,0 +1,89 @@
+//! # nrsnn-bench
+//!
+//! Shared helpers for the benchmark harness.  Each Criterion bench under
+//! `benches/` regenerates one table or figure of the paper's evaluation: it
+//! trains (or reuses) a pipeline, runs the corresponding sweep, prints the
+//! rows/series the paper reports, and additionally benchmarks the hot path
+//! (one simulated inference) so regressions in simulator performance are
+//! visible.
+//!
+//! The benches share the cached pipelines below so the expensive DNN
+//! training happens once per dataset per bench binary.
+
+use std::sync::OnceLock;
+
+use nrsnn::prelude::*;
+
+/// Evaluation settings shared by all benches: kept deliberately small so the
+/// full `cargo bench --workspace` run finishes on a laptop while still
+/// exhibiting the paper's qualitative orderings.
+pub fn bench_sweep_config() -> SweepConfig {
+    SweepConfig {
+        time_steps: 96,
+        eval_samples: 24,
+        seed: 2021,
+    }
+}
+
+/// The CIFAR-10-like pipeline used by the figure benches (Figs. 2–4, 6–8).
+///
+/// # Panics
+/// Panics if pipeline construction fails — benches cannot proceed without it.
+pub fn cifar10_pipeline() -> &'static TrainedPipeline {
+    static PIPELINE: OnceLock<TrainedPipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let mut config = PipelineConfig::cifar10_full();
+        // Benches trade a little accuracy for wall-clock time.
+        config.dataset = config.dataset.with_samples(320, 96);
+        config.epochs = 10;
+        TrainedPipeline::build(&config).expect("cifar10-like pipeline must build")
+    })
+}
+
+/// The MNIST-like pipeline used by the table benches.
+///
+/// # Panics
+/// Panics if pipeline construction fails.
+pub fn mnist_pipeline() -> &'static TrainedPipeline {
+    static PIPELINE: OnceLock<TrainedPipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let mut config = PipelineConfig::mnist_full();
+        config.dataset = config.dataset.with_samples(384, 96);
+        config.epochs = 12;
+        TrainedPipeline::build(&config).expect("mnist-like pipeline must build")
+    })
+}
+
+/// The CIFAR-100-like pipeline used by the table benches (smaller than the
+/// example configuration to keep bench time bounded).
+///
+/// # Panics
+/// Panics if pipeline construction fails.
+pub fn cifar100_pipeline() -> &'static TrainedPipeline {
+    static PIPELINE: OnceLock<TrainedPipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let mut config = PipelineConfig::cifar100_full();
+        config.dataset = config.dataset.with_samples(500, 150);
+        config.epochs = 8;
+        TrainedPipeline::build(&config).expect("cifar100-like pipeline must build")
+    })
+}
+
+/// Prints a sweep in figure form with a heading (used by every figure bench
+/// so the regenerated series appear in the bench log).
+pub fn print_figure(title: &str, points: &[SweepPoint], x_label: &str) {
+    println!("\n==== {title} ====");
+    println!("{}", format_sweep_table(points, x_label));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_config_is_small_but_valid() {
+        let cfg = bench_sweep_config();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.eval_samples <= 64);
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+use nrsnn_data::DataError;
+use nrsnn_dnn::DnnError;
+use nrsnn_noise::NoiseError;
+use nrsnn_snn::SnnError;
+use nrsnn_tensor::TensorError;
+
+/// Top-level error type of the `nrsnn` pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NrsnnError {
+    /// Tensor-level failure.
+    Tensor(TensorError),
+    /// DNN training/inference failure.
+    Dnn(DnnError),
+    /// Dataset generation failure.
+    Data(DataError),
+    /// SNN conversion/simulation failure.
+    Snn(SnnError),
+    /// Noise-model configuration failure.
+    Noise(NoiseError),
+    /// Invalid experiment configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NrsnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NrsnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NrsnnError::Dnn(e) => write!(f, "dnn error: {e}"),
+            NrsnnError::Data(e) => write!(f, "data error: {e}"),
+            NrsnnError::Snn(e) => write!(f, "snn error: {e}"),
+            NrsnnError::Noise(e) => write!(f, "noise error: {e}"),
+            NrsnnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NrsnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NrsnnError::Tensor(e) => Some(e),
+            NrsnnError::Dnn(e) => Some(e),
+            NrsnnError::Data(e) => Some(e),
+            NrsnnError::Snn(e) => Some(e),
+            NrsnnError::Noise(e) => Some(e),
+            NrsnnError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for NrsnnError {
+    fn from(e: TensorError) -> Self {
+        NrsnnError::Tensor(e)
+    }
+}
+
+impl From<DnnError> for NrsnnError {
+    fn from(e: DnnError) -> Self {
+        NrsnnError::Dnn(e)
+    }
+}
+
+impl From<DataError> for NrsnnError {
+    fn from(e: DataError) -> Self {
+        NrsnnError::Data(e)
+    }
+}
+
+impl From<SnnError> for NrsnnError {
+    fn from(e: SnnError) -> Self {
+        NrsnnError::Snn(e)
+    }
+}
+
+impl From<NoiseError> for NrsnnError {
+    fn from(e: NoiseError) -> Self {
+        NrsnnError::Noise(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_sub_errors() {
+        let e: NrsnnError = TensorError::ShapeDataMismatch {
+            elements: 1,
+            expected: 2,
+        }
+        .into();
+        assert!(matches!(e, NrsnnError::Tensor(_)));
+        assert!(e.source().is_some());
+
+        let e: NrsnnError = NoiseError::InvalidParameter("x".to_string()).into();
+        assert!(matches!(e, NrsnnError::Noise(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = NrsnnError::InvalidConfig("no codings selected".to_string());
+        assert!(e.to_string().contains("no codings selected"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NrsnnError>();
+    }
+}

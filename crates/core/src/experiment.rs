@@ -1,0 +1,326 @@
+//! Experiment harness: the parameter sweeps behind every figure and table of
+//! the paper's evaluation.
+//!
+//! All sweeps operate on a [`TrainedPipeline`] and return flat lists of
+//! [`SweepPoint`]s, which the [`crate::report`] module renders into the
+//! paper's figure series and tables.  Each point is deterministic given the
+//! sweep seed.
+
+use nrsnn_noise::{DeletionNoise, JitterNoise, WeightScaling};
+use nrsnn_snn::{CodingKind, IdentityTransform, SpikeTransform};
+use serde::{Deserialize, Serialize};
+
+use crate::{NrsnnError, Result, TrainedPipeline};
+
+/// Shared sweep parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Simulation window length per layer.
+    pub time_steps: u32,
+    /// Number of held-out test samples to evaluate per point.
+    pub eval_samples: usize,
+    /// Seed for the noise realisations.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            time_steps: 128,
+            eval_samples: 64,
+            seed: 1234,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Validates the sweep configuration.
+    ///
+    /// # Errors
+    /// Returns [`NrsnnError::InvalidConfig`] for zero time steps or samples.
+    pub fn validate(&self) -> Result<()> {
+        if self.time_steps == 0 || self.eval_samples == 0 {
+            return Err(NrsnnError::InvalidConfig(
+                "time_steps and eval_samples must be non-zero".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One measured point of a noise sweep (one coding at one noise level).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The coding that was simulated.
+    pub coding: CodingKind,
+    /// Whether weight scaling was applied.
+    pub weight_scaled: bool,
+    /// The noise level (deletion probability or jitter σ; 0.0 = clean).
+    pub noise_level: f64,
+    /// Classification accuracy in percent.
+    pub accuracy_percent: f32,
+    /// Mean number of transmitted spikes per inference.
+    pub mean_spikes: f32,
+}
+
+impl SweepPoint {
+    /// Label combining coding and weight-scaling flag ("TTAS(5)+WS" etc.).
+    pub fn method_label(&self) -> String {
+        if self.weight_scaled {
+            format!("{}+WS", self.coding.label())
+        } else {
+            self.coding.label()
+        }
+    }
+}
+
+fn noise_for_deletion(probability: f64) -> Result<Box<dyn SpikeTransform>> {
+    if probability <= 0.0 {
+        Ok(Box::new(IdentityTransform))
+    } else {
+        Ok(Box::new(DeletionNoise::new(probability)?))
+    }
+}
+
+fn noise_for_jitter(sigma: f64) -> Result<Box<dyn SpikeTransform>> {
+    if sigma <= 0.0 {
+        Ok(Box::new(IdentityTransform))
+    } else {
+        Ok(Box::new(JitterNoise::new(sigma)?))
+    }
+}
+
+/// Sweeps spike-deletion probabilities for each coding (Figs. 2, 4, 7 and
+/// Table I).
+///
+/// When `weight_scaling` is `true`, each noise level uses the matching
+/// compensation factor `C = 1/(1−p)`, mirroring the paper's WS rows.
+///
+/// # Errors
+/// Returns [`NrsnnError::InvalidConfig`] for an empty coding list and
+/// propagates conversion/simulation errors.
+pub fn deletion_sweep(
+    pipeline: &TrainedPipeline,
+    codings: &[CodingKind],
+    probabilities: &[f64],
+    weight_scaling: bool,
+    config: &SweepConfig,
+) -> Result<Vec<SweepPoint>> {
+    config.validate()?;
+    if codings.is_empty() {
+        return Err(NrsnnError::InvalidConfig("no codings selected".to_string()));
+    }
+    let mut points = Vec::with_capacity(codings.len() * probabilities.len());
+    for &coding in codings {
+        for &p in probabilities {
+            let scaling = if weight_scaling && p > 0.0 && p < 1.0 {
+                WeightScaling::for_deletion_probability(p)?
+            } else {
+                WeightScaling::none()
+            };
+            let noise = noise_for_deletion(p)?;
+            let summary = pipeline.evaluate_snn(
+                coding,
+                config.time_steps,
+                noise.as_ref(),
+                &scaling,
+                config.eval_samples,
+                config.seed,
+            )?;
+            points.push(SweepPoint {
+                coding,
+                weight_scaled: weight_scaling,
+                noise_level: p,
+                accuracy_percent: summary.accuracy_percent(),
+                mean_spikes: summary.mean_spikes_per_sample,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Sweeps spike-jitter intensities for each coding (Figs. 3, 6, 8 and
+/// Table II).  Jitter does not remove charge, so no weight scaling is
+/// applied (matching the paper).
+///
+/// # Errors
+/// Returns [`NrsnnError::InvalidConfig`] for an empty coding list and
+/// propagates conversion/simulation errors.
+pub fn jitter_sweep(
+    pipeline: &TrainedPipeline,
+    codings: &[CodingKind],
+    sigmas: &[f64],
+    config: &SweepConfig,
+) -> Result<Vec<SweepPoint>> {
+    config.validate()?;
+    if codings.is_empty() {
+        return Err(NrsnnError::InvalidConfig("no codings selected".to_string()));
+    }
+    let mut points = Vec::with_capacity(codings.len() * sigmas.len());
+    for &coding in codings {
+        for &sigma in sigmas {
+            let noise = noise_for_jitter(sigma)?;
+            let summary = pipeline.evaluate_snn(
+                coding,
+                config.time_steps,
+                noise.as_ref(),
+                &WeightScaling::none(),
+                config.eval_samples,
+                config.seed,
+            )?;
+            points.push(SweepPoint {
+                coding,
+                weight_scaled: false,
+                noise_level: sigma,
+                accuracy_percent: summary.accuracy_percent(),
+                mean_spikes: summary.mean_spikes_per_sample,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Extracts the series (noise level, accuracy) for one coding from a sweep,
+/// sorted by noise level — one curve of a figure.
+pub fn series_for(points: &[SweepPoint], coding: CodingKind) -> Vec<(f64, f32)> {
+    let mut series: Vec<(f64, f32)> = points
+        .iter()
+        .filter(|p| p.coding == coding)
+        .map(|p| (p.noise_level, p.accuracy_percent))
+        .collect();
+    series.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    series
+}
+
+/// Mean accuracy over all noise levels of one coding (the "Avg." column of
+/// Tables I and II).
+pub fn average_accuracy(points: &[SweepPoint], coding: CodingKind) -> f32 {
+    let series = series_for(points, coding);
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|(_, a)| a).sum::<f32>() / series.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelKind, PipelineConfig};
+    use nrsnn_data::DatasetSpec;
+
+    fn tiny_pipeline() -> TrainedPipeline {
+        let config = PipelineConfig {
+            dataset: DatasetSpec::mnist_like().with_samples(60, 30),
+            model: ModelKind::Mlp,
+            dropout: 0.1,
+            epochs: 5,
+            batch_size: 15,
+            learning_rate: 2e-3,
+            percentile: 99.9,
+            seed: 5,
+        };
+        TrainedPipeline::build(&config).unwrap()
+    }
+
+    fn tiny_sweep() -> SweepConfig {
+        SweepConfig {
+            time_steps: 48,
+            eval_samples: 16,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn sweep_config_validation() {
+        assert!(SweepConfig::default().validate().is_ok());
+        assert!(SweepConfig {
+            time_steps: 0,
+            ..SweepConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn deletion_sweep_produces_one_point_per_combination() {
+        let pipeline = tiny_pipeline();
+        let points = deletion_sweep(
+            &pipeline,
+            &[CodingKind::Rate, CodingKind::Ttfs],
+            &[0.0, 0.5],
+            false,
+            &tiny_sweep(),
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.accuracy_percent >= 0.0));
+        assert!(points.iter().all(|p| !p.weight_scaled));
+    }
+
+    #[test]
+    fn empty_codings_rejected() {
+        let pipeline = tiny_pipeline();
+        assert!(deletion_sweep(&pipeline, &[], &[0.0], false, &tiny_sweep()).is_err());
+        assert!(jitter_sweep(&pipeline, &[], &[0.0], &tiny_sweep()).is_err());
+    }
+
+    #[test]
+    fn series_and_average_extraction() {
+        let points = vec![
+            SweepPoint {
+                coding: CodingKind::Rate,
+                weight_scaled: false,
+                noise_level: 0.5,
+                accuracy_percent: 40.0,
+                mean_spikes: 10.0,
+            },
+            SweepPoint {
+                coding: CodingKind::Rate,
+                weight_scaled: false,
+                noise_level: 0.0,
+                accuracy_percent: 90.0,
+                mean_spikes: 20.0,
+            },
+            SweepPoint {
+                coding: CodingKind::Ttfs,
+                weight_scaled: false,
+                noise_level: 0.0,
+                accuracy_percent: 88.0,
+                mean_spikes: 1.0,
+            },
+        ];
+        let series = series_for(&points, CodingKind::Rate);
+        assert_eq!(series, vec![(0.0, 90.0), (0.5, 40.0)]);
+        assert!((average_accuracy(&points, CodingKind::Rate) - 65.0).abs() < 1e-5);
+        assert_eq!(average_accuracy(&points, CodingKind::Ttas(5)), 0.0);
+    }
+
+    #[test]
+    fn method_label_marks_weight_scaling() {
+        let p = SweepPoint {
+            coding: CodingKind::Ttas(5),
+            weight_scaled: true,
+            noise_level: 0.2,
+            accuracy_percent: 80.0,
+            mean_spikes: 5.0,
+        };
+        assert_eq!(p.method_label(), "TTAS(5)+WS");
+    }
+
+    #[test]
+    fn jitter_sweep_runs_for_temporal_codings() {
+        let pipeline = tiny_pipeline();
+        let points = jitter_sweep(
+            &pipeline,
+            &[CodingKind::Ttfs, CodingKind::Ttas(3)],
+            &[0.0, 2.0],
+            &tiny_sweep(),
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        // Clean accuracy should be at least as good as heavily jittered
+        // accuracy for TTFS.
+        let ttfs = series_for(&points, CodingKind::Ttfs);
+        assert!(ttfs[0].1 >= ttfs[1].1 - 10.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! # nrsnn
+//!
+//! Noise-robust deep spiking neural networks with temporal information — a
+//! Rust reproduction of Park, Lee & Yoon (DAC 2021).
+//!
+//! This crate is the top of the workspace: it wires the substrates
+//! (`nrsnn-tensor`, `nrsnn-dnn`, `nrsnn-data`, `nrsnn-snn`, `nrsnn-noise`)
+//! into the paper's full pipeline:
+//!
+//! 1. train a ReLU DNN on a (synthetic) dataset — [`TrainedPipeline::build`];
+//! 2. convert it to a deep SNN with data-based threshold balancing —
+//!    [`TrainedPipeline::to_snn`];
+//! 3. simulate inference under one of five neural codings while injecting
+//!    spike deletion / jitter noise — [`TrainedPipeline::evaluate_snn`];
+//! 4. apply the paper's counter-measures: weight scaling and TTAS coding —
+//!    [`RobustSnnBuilder`];
+//! 5. regenerate the paper's figures and tables — [`experiment`] and
+//!    [`report`].
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use nrsnn::prelude::*;
+//!
+//! # fn main() -> Result<(), nrsnn::NrsnnError> {
+//! // Train a small DNN on the MNIST-like synthetic dataset and convert it.
+//! let pipeline = TrainedPipeline::build(&PipelineConfig::mnist_small())?;
+//!
+//! // Evaluate the converted SNN under TTAS coding with 50 % spike deletion
+//! // and the matching weight-scaling compensation.
+//! let robust = RobustSnnBuilder::new()
+//!     .burst_duration(5)
+//!     .expected_deletion(0.5)
+//!     .build(&pipeline)?;
+//! let summary = robust.evaluate_under_deletion(&pipeline, 0.5, 64, 42)?;
+//! println!("accuracy under 50% deletion: {:.1}%", summary.accuracy_percent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod experiment;
+mod model;
+mod pipeline;
+pub mod report;
+mod robust;
+
+pub use error::NrsnnError;
+pub use model::{build_model, ModelKind};
+pub use pipeline::{PipelineConfig, TrainedPipeline};
+pub use robust::{RobustSnn, RobustSnnBuilder};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NrsnnError>;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::experiment::{deletion_sweep, jitter_sweep, SweepConfig, SweepPoint};
+    pub use crate::report::{format_sweep_table, format_table1, format_table2, Table1Row, Table2Row};
+    pub use crate::{
+        build_model, ModelKind, NrsnnError, PipelineConfig, RobustSnn, RobustSnnBuilder,
+        TrainedPipeline,
+    };
+    pub use nrsnn_data::DatasetSpec;
+    pub use nrsnn_noise::{
+        paper_deletion_probabilities, paper_jitter_intensities, CompositeNoise, DeletionNoise,
+        JitterNoise, WeightScaling,
+    };
+    pub use nrsnn_snn::{
+        CodingConfig, CodingKind, IdentityTransform, NeuralCoding, SnnNetwork, SpikeTransform,
+        TtasCoding,
+    };
+}

@@ -1,0 +1,196 @@
+//! Model-architecture presets for the reproduction.
+//!
+//! The paper evaluates VGG16; this reproduction trains laptop-scale networks
+//! of the same *kind* (convolution + average pooling + fully connected with
+//! ReLU and dropout) on the synthetic datasets.  Architectures are chosen by
+//! dataset shape: an MLP for the single-channel MNIST-like task and a small
+//! CNN for the three-channel CIFAR-like tasks.  See `DESIGN.md` §2 for why
+//! this substitution preserves the noise phenomena under study.
+
+use nrsnn_data::DatasetSpec;
+use nrsnn_dnn::{AvgPool2d, Conv2d, Dense, Dropout, Flatten, Relu, Sequential};
+use nrsnn_tensor::{Conv2dGeometry, Pool2dGeometry};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{NrsnnError, Result};
+
+/// The architecture family to instantiate for a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Multi-layer perceptron (input → 256 → 128 → classes).
+    Mlp,
+    /// Small convolutional network
+    /// (conv-avgpool-conv-avgpool-dense-dense, VGG-style blocks).
+    Cnn,
+    /// Pick [`ModelKind::Mlp`] for single-channel inputs and
+    /// [`ModelKind::Cnn`] for multi-channel inputs.
+    Auto,
+}
+
+impl ModelKind {
+    /// Resolves [`ModelKind::Auto`] against a dataset specification.
+    pub fn resolve(&self, spec: &DatasetSpec) -> ModelKind {
+        match self {
+            ModelKind::Auto => {
+                if spec.channels == 1 {
+                    ModelKind::Mlp
+                } else {
+                    ModelKind::Cnn
+                }
+            }
+            other => *other,
+        }
+    }
+}
+
+/// Builds a trainable DNN for the given dataset specification.
+///
+/// Dropout (probability `dropout`) is inserted before each dense layer; the
+/// paper points out that dropout-trained source DNNs are what gives TTFS its
+/// all-or-none deletion robustness after conversion, so it is on by default.
+///
+/// # Errors
+/// Returns [`NrsnnError::InvalidConfig`] if the dataset shape is unusable
+/// (e.g. images too small for the convolutional stack).
+pub fn build_model<R: Rng>(
+    kind: ModelKind,
+    spec: &DatasetSpec,
+    dropout: f32,
+    rng: &mut R,
+) -> Result<Sequential> {
+    match kind.resolve(spec) {
+        ModelKind::Mlp => build_mlp(spec, dropout, rng),
+        ModelKind::Cnn => build_cnn(spec, dropout, rng),
+        ModelKind::Auto => unreachable!("resolve never returns Auto"),
+    }
+}
+
+fn build_mlp<R: Rng>(spec: &DatasetSpec, dropout: f32, rng: &mut R) -> Result<Sequential> {
+    let input = spec.feature_len();
+    let mut net = Sequential::new();
+    net.push(Dense::new(rng, input, 256)?);
+    net.push(Relu::new());
+    net.push(Dropout::new(dropout, 11)?);
+    net.push(Dense::new(rng, 256, 128)?);
+    net.push(Relu::new());
+    net.push(Dropout::new(dropout, 13)?);
+    net.push(Dense::new(rng, 128, spec.classes)?);
+    Ok(net)
+}
+
+fn build_cnn<R: Rng>(spec: &DatasetSpec, dropout: f32, rng: &mut R) -> Result<Sequential> {
+    if spec.height < 8 || spec.width < 8 {
+        return Err(NrsnnError::InvalidConfig(format!(
+            "CNN preset needs at least 8x8 inputs, got {}x{}",
+            spec.height, spec.width
+        )));
+    }
+    if spec.height % 4 != 0 || spec.width % 4 != 0 {
+        return Err(NrsnnError::InvalidConfig(format!(
+            "CNN preset needs dimensions divisible by 4, got {}x{}",
+            spec.height, spec.width
+        )));
+    }
+    let mut net = Sequential::new();
+
+    // Block 1: conv 3x3 (same padding) -> ReLU -> avgpool 2x2.
+    let conv1 = Conv2dGeometry::new(spec.channels, spec.height, spec.width, 3, 1, 1)
+        .map_err(NrsnnError::Tensor)?;
+    let c1_out = 12usize;
+    net.push(Conv2d::new(rng, conv1, c1_out)?);
+    net.push(Relu::new());
+    let pool1 = Pool2dGeometry::new(c1_out, spec.height, spec.width, 2, 2).map_err(NrsnnError::Tensor)?;
+    net.push(AvgPool2d::new(pool1));
+
+    // Block 2: conv 3x3 -> ReLU -> avgpool 2x2.
+    let (h2, w2) = (spec.height / 2, spec.width / 2);
+    let conv2 = Conv2dGeometry::new(c1_out, h2, w2, 3, 1, 1).map_err(NrsnnError::Tensor)?;
+    let c2_out = 24usize;
+    net.push(Conv2d::new(rng, conv2, c2_out)?);
+    net.push(Relu::new());
+    let pool2 = Pool2dGeometry::new(c2_out, h2, w2, 2, 2).map_err(NrsnnError::Tensor)?;
+    net.push(AvgPool2d::new(pool2));
+
+    // Classifier head.
+    let (h4, w4) = (spec.height / 4, spec.width / 4);
+    let flat = c2_out * h4 * w4;
+    net.push(Flatten::new());
+    net.push(Dropout::new(dropout, 17)?);
+    net.push(Dense::new(rng, flat, 96)?);
+    net.push(Relu::new());
+    net.push(Dropout::new(dropout, 19)?);
+    net.push(Dense::new(rng, 96, spec.classes)?);
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrsnn_dnn::Mode;
+    use nrsnn_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn auto_resolves_by_channels() {
+        assert_eq!(
+            ModelKind::Auto.resolve(&DatasetSpec::mnist_like()),
+            ModelKind::Mlp
+        );
+        assert_eq!(
+            ModelKind::Auto.resolve(&DatasetSpec::cifar10_like()),
+            ModelKind::Cnn
+        );
+        assert_eq!(
+            ModelKind::Mlp.resolve(&DatasetSpec::cifar10_like()),
+            ModelKind::Mlp
+        );
+    }
+
+    #[test]
+    fn mlp_has_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = DatasetSpec::mnist_like();
+        let mut net = build_model(ModelKind::Auto, &spec, 0.2, &mut rng).unwrap();
+        let x = Tensor::zeros(&[2, spec.feature_len()]);
+        let y = net.forward(&x, Mode::Infer).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+        // Three weighted layers in the descriptor chain.
+        assert_eq!(net.descriptors().len(), 3);
+    }
+
+    #[test]
+    fn cnn_has_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = DatasetSpec::cifar10_like();
+        let mut net = build_model(ModelKind::Auto, &spec, 0.2, &mut rng).unwrap();
+        let x = Tensor::zeros(&[1, spec.feature_len()]);
+        let y = net.forward(&x, Mode::Infer).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+        // conv, pool, conv, pool, dense, dense -> 6 descriptors.
+        assert_eq!(net.descriptors().len(), 6);
+    }
+
+    #[test]
+    fn cnn_supports_100_classes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = DatasetSpec::cifar100_like();
+        let mut net = build_model(ModelKind::Cnn, &spec, 0.2, &mut rng).unwrap();
+        let x = Tensor::zeros(&[1, spec.feature_len()]);
+        let y = net.forward(&x, Mode::Infer).unwrap();
+        assert_eq!(y.dims(), &[1, 100]);
+    }
+
+    #[test]
+    fn cnn_rejects_tiny_images() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut spec = DatasetSpec::cifar10_like();
+        spec.height = 4;
+        spec.width = 4;
+        assert!(build_model(ModelKind::Cnn, &spec, 0.2, &mut rng).is_err());
+        spec.height = 18;
+        spec.width = 18;
+        assert!(build_model(ModelKind::Cnn, &spec, 0.2, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! The end-to-end train → convert → simulate pipeline.
+
+use nrsnn_data::{DatasetSpec, LabelledSet, SyntheticDataset};
+use nrsnn_dnn::{Adam, LayerDescriptor, Sequential, SoftmaxCrossEntropy, TrainConfig};
+use nrsnn_noise::WeightScaling;
+use nrsnn_snn::{
+    convert, CodingConfig, CodingKind, ConversionConfig, SnnNetwork, SpikeTransform,
+    ThresholdBalancer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{build_model, ModelKind, NrsnnError, Result};
+
+/// Configuration of a full pipeline run (dataset, architecture, training and
+/// conversion hyper-parameters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Dataset to generate.
+    pub dataset: DatasetSpec,
+    /// Architecture family.
+    pub model: ModelKind,
+    /// Dropout probability used while training the source DNN.
+    pub dropout: f32,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Activation percentile for threshold balancing.
+    pub percentile: f32,
+    /// Master seed controlling data generation, initialisation and training.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// A quick MNIST-like configuration suitable for tests and the
+    /// quickstart example (small sample count, few epochs).
+    pub fn mnist_small() -> Self {
+        PipelineConfig {
+            dataset: DatasetSpec::mnist_like().with_samples(256, 64),
+            model: ModelKind::Auto,
+            dropout: 0.2,
+            epochs: 12,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            percentile: 99.9,
+            seed: 42,
+        }
+    }
+
+    /// The MNIST-like configuration used by the experiment harness.
+    pub fn mnist_full() -> Self {
+        PipelineConfig {
+            dataset: DatasetSpec::mnist_like().with_samples(768, 192),
+            epochs: 20,
+            ..PipelineConfig::mnist_small()
+        }
+    }
+
+    /// The CIFAR-10-like configuration used by the experiment harness
+    /// (convolutional model).
+    pub fn cifar10_full() -> Self {
+        PipelineConfig {
+            dataset: DatasetSpec::cifar10_like().with_samples(640, 160),
+            model: ModelKind::Auto,
+            dropout: 0.2,
+            epochs: 18,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            percentile: 99.9,
+            seed: 7,
+        }
+    }
+
+    /// The CIFAR-100-like configuration used by the experiment harness.
+    pub fn cifar100_full() -> Self {
+        PipelineConfig {
+            dataset: DatasetSpec::cifar100_like().with_samples(1_600, 400),
+            model: ModelKind::Auto,
+            dropout: 0.2,
+            epochs: 18,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            percentile: 99.9,
+            seed: 11,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`NrsnnError::InvalidConfig`] for zero epochs/batch size or an
+    /// out-of-range percentile.
+    pub fn validate(&self) -> Result<()> {
+        if self.epochs == 0 || self.batch_size == 0 {
+            return Err(NrsnnError::InvalidConfig(
+                "epochs and batch_size must be non-zero".to_string(),
+            ));
+        }
+        if !(self.percentile > 0.0 && self.percentile <= 100.0) {
+            return Err(NrsnnError::InvalidConfig(format!(
+                "percentile must be in (0, 100], got {}",
+                self.percentile
+            )));
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(NrsnnError::InvalidConfig(format!(
+                "dropout must be in [0, 1), got {}",
+                self.dropout
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::mnist_small()
+    }
+}
+
+/// A trained DNN together with everything needed to convert and evaluate it
+/// as a spiking network.
+pub struct TrainedPipeline {
+    config: PipelineConfig,
+    dataset: SyntheticDataset,
+    dnn: Sequential,
+    descriptors: Vec<LayerDescriptor>,
+    activation_scales: Vec<f32>,
+    dnn_train_accuracy: f32,
+    dnn_test_accuracy: f32,
+}
+
+impl std::fmt::Debug for TrainedPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedPipeline")
+            .field("dataset", &self.dataset.spec.name)
+            .field("layers", &self.descriptors.len())
+            .field("dnn_test_accuracy", &self.dnn_test_accuracy)
+            .finish()
+    }
+}
+
+impl TrainedPipeline {
+    /// Generates the dataset, trains the source DNN and computes the
+    /// activation scales for conversion.
+    ///
+    /// # Errors
+    /// Propagates dataset-generation, training and statistics errors.
+    pub fn build(config: &PipelineConfig) -> Result<Self> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let dataset = SyntheticDataset::generate(&config.dataset, &mut rng)?;
+
+        let mut dnn = build_model(config.model, &config.dataset, config.dropout, &mut rng)?;
+        let train_cfg = TrainConfig {
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            lr_decay: 0.97,
+            shuffle: true,
+        };
+        let mut optimizer = Adam::new(config.learning_rate);
+        let report = dnn.fit(
+            &dataset.train.inputs,
+            &dataset.train.labels,
+            &mut optimizer,
+            &SoftmaxCrossEntropy::new(),
+            &train_cfg,
+            &mut rng,
+        )?;
+        let test_eval = dnn.evaluate(&dataset.test.inputs, &dataset.test.labels)?;
+
+        // Threshold balancing statistics over (a subset of) the training set.
+        let probe = dataset.train.take(dataset.train.len().min(256))?;
+        let balancer = ThresholdBalancer::new(config.percentile)?;
+        let activation_scales = balancer.scales(&mut dnn, &probe.inputs)?;
+        let descriptors = dnn.descriptors();
+
+        Ok(TrainedPipeline {
+            config: config.clone(),
+            dataset,
+            dnn,
+            descriptors,
+            activation_scales,
+            dnn_train_accuracy: report.final_train_accuracy,
+            dnn_test_accuracy: test_eval.accuracy,
+        })
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The generated dataset.
+    pub fn dataset(&self) -> &SyntheticDataset {
+        &self.dataset
+    }
+
+    /// The trained source DNN.
+    pub fn dnn(&self) -> &Sequential {
+        &self.dnn
+    }
+
+    /// Conversion descriptors of the trained DNN.
+    pub fn descriptors(&self) -> &[LayerDescriptor] {
+        &self.descriptors
+    }
+
+    /// Per-layer activation scales from threshold balancing.
+    pub fn activation_scales(&self) -> &[f32] {
+        &self.activation_scales
+    }
+
+    /// Training-set accuracy of the source DNN.
+    pub fn dnn_train_accuracy(&self) -> f32 {
+        self.dnn_train_accuracy
+    }
+
+    /// Test-set accuracy of the source DNN (the ceiling for SNN accuracy).
+    pub fn dnn_test_accuracy(&self) -> f32 {
+        self.dnn_test_accuracy
+    }
+
+    /// Converts the trained DNN into a spiking network, applying the given
+    /// weight-scaling compensation.
+    ///
+    /// # Errors
+    /// Propagates conversion errors.
+    pub fn to_snn(&self, scaling: &WeightScaling) -> Result<SnnNetwork> {
+        let snn = convert(
+            &self.descriptors,
+            &self.activation_scales,
+            &ConversionConfig {
+                weight_scale: scaling.factor(),
+            },
+        )?;
+        Ok(snn)
+    }
+
+    /// The coding configuration (time window and empirical threshold) for a
+    /// coding kind, following the paper's §V settings scaled to this
+    /// reproduction.
+    pub fn coding_config(&self, kind: CodingKind, time_steps: u32) -> CodingConfig {
+        CodingConfig::new(time_steps, kind.default_threshold())
+    }
+
+    /// Converts, simulates and scores the SNN under the given coding, noise
+    /// model and weight scaling over `samples` held-out test samples.
+    ///
+    /// # Errors
+    /// Propagates conversion and simulation errors.
+    pub fn evaluate_snn(
+        &self,
+        kind: CodingKind,
+        time_steps: u32,
+        noise: &dyn SpikeTransform,
+        scaling: &WeightScaling,
+        samples: usize,
+        seed: u64,
+    ) -> Result<nrsnn_snn::EvaluationSummary> {
+        let snn = self.to_snn(scaling)?;
+        let coding = kind.build();
+        let cfg = self.coding_config(kind, time_steps);
+        let subset = self.dataset.test.take(samples)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let summary = snn.evaluate(
+            &subset.inputs,
+            &subset.labels,
+            coding.as_ref(),
+            &cfg,
+            noise,
+            &mut rng,
+        )?;
+        Ok(summary)
+    }
+
+    /// Held-out test subset helper (used by the experiment harness).
+    ///
+    /// # Errors
+    /// Propagates tensor errors.
+    pub fn test_subset(&self, samples: usize) -> Result<LabelledSet> {
+        Ok(self.dataset.test.take(samples)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrsnn_snn::IdentityTransform;
+
+    fn tiny_config() -> PipelineConfig {
+        PipelineConfig {
+            dataset: DatasetSpec::mnist_like().with_samples(80, 40),
+            model: ModelKind::Mlp,
+            dropout: 0.1,
+            epochs: 6,
+            batch_size: 16,
+            learning_rate: 2e-3,
+            percentile: 99.9,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = tiny_config();
+        assert!(c.validate().is_ok());
+        c.epochs = 0;
+        assert!(c.validate().is_err());
+        let mut c = tiny_config();
+        c.percentile = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = tiny_config();
+        c.dropout = 1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn build_trains_a_usable_dnn_and_converts_it() {
+        let pipeline = TrainedPipeline::build(&tiny_config()).unwrap();
+        // The synthetic task is easy: the DNN must beat chance by a wide
+        // margin even with this tiny budget.
+        assert!(
+            pipeline.dnn_test_accuracy() > 0.5,
+            "dnn test accuracy {}",
+            pipeline.dnn_test_accuracy()
+        );
+        assert_eq!(pipeline.descriptors().len(), 3);
+        assert_eq!(pipeline.activation_scales().len(), 3);
+
+        let snn = pipeline.to_snn(&WeightScaling::none()).unwrap();
+        assert_eq!(snn.input_width(), 784);
+        assert_eq!(snn.output_width(), 10);
+    }
+
+    #[test]
+    fn clean_snn_accuracy_tracks_dnn_accuracy() {
+        let pipeline = TrainedPipeline::build(&tiny_config()).unwrap();
+        let summary = pipeline
+            .evaluate_snn(
+                CodingKind::Rate,
+                128,
+                &IdentityTransform,
+                &WeightScaling::none(),
+                32,
+                0,
+            )
+            .unwrap();
+        assert!(
+            summary.accuracy >= pipeline.dnn_test_accuracy() - 0.25,
+            "snn {} vs dnn {}",
+            summary.accuracy,
+            pipeline.dnn_test_accuracy()
+        );
+        assert!(summary.mean_spikes_per_sample > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TrainedPipeline::build(&tiny_config()).unwrap();
+        let b = TrainedPipeline::build(&tiny_config()).unwrap();
+        assert_eq!(a.dnn_test_accuracy(), b.dnn_test_accuracy());
+        assert_eq!(a.activation_scales(), b.activation_scales());
+    }
+}

@@ -1,0 +1,282 @@
+//! Report formatting: renders sweep results in the shape of the paper's
+//! figures (accuracy-vs-noise series) and tables (Table I and Table II).
+
+use nrsnn_snn::CodingKind;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{series_for, SweepPoint};
+
+/// Formats a sweep as a text table with one row per coding and one column
+/// per noise level — the textual equivalent of one of the paper's figures.
+pub fn format_sweep_table(points: &[SweepPoint], x_label: &str) -> String {
+    let mut codings: Vec<CodingKind> = Vec::new();
+    for p in points {
+        if !codings.contains(&p.coding) {
+            codings.push(p.coding);
+        }
+    }
+    let mut levels: Vec<f64> = points.iter().map(|p| p.noise_level).collect();
+    levels.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    levels.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut out = String::new();
+    out.push_str(&format!("{x_label:<14}"));
+    for level in &levels {
+        out.push_str(&format!("{level:>9.2}"));
+    }
+    out.push('\n');
+    for coding in &codings {
+        let ws = points
+            .iter()
+            .find(|p| p.coding == *coding)
+            .map(|p| p.weight_scaled)
+            .unwrap_or(false);
+        let label = if ws {
+            format!("{}+WS", coding.label())
+        } else {
+            coding.label()
+        };
+        out.push_str(&format!("{label:<14}"));
+        let series = series_for(points, *coding);
+        for level in &levels {
+            match series.iter().find(|(l, _)| (l - level).abs() < 1e-12) {
+                Some((_, acc)) => out.push_str(&format!("{acc:>8.2}%")),
+                None => out.push_str(&format!("{:>9}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of Table I (deletion noise): accuracy and spike counts at the
+/// paper's reporting points (clean, 0.2, 0.5, 0.8) plus averages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Dataset name ("mnist-like", …).
+    pub dataset: String,
+    /// Method label ("Rate+WS", "TTAS(5)+WS", …).
+    pub method: String,
+    /// Accuracy (%) at each reported deletion probability, in order.
+    pub accuracies: Vec<f32>,
+    /// Mean spikes per inference at each reported deletion probability.
+    pub spikes: Vec<f32>,
+}
+
+impl Table1Row {
+    /// Average accuracy over the noisy points (the paper averages the noisy
+    /// columns, excluding the clean one is debatable — we average all
+    /// reported points like the published table's "Avg." column).
+    pub fn average_accuracy(&self) -> f32 {
+        if self.accuracies.is_empty() {
+            return 0.0;
+        }
+        self.accuracies.iter().sum::<f32>() / self.accuracies.len() as f32
+    }
+
+    /// Average spike count over the reported points.
+    pub fn average_spikes(&self) -> f32 {
+        if self.spikes.is_empty() {
+            return 0.0;
+        }
+        self.spikes.iter().sum::<f32>() / self.spikes.len() as f32
+    }
+
+    /// Builds a row from sweep points of a single coding.
+    pub fn from_points(dataset: &str, points: &[SweepPoint], coding: CodingKind) -> Self {
+        let mut filtered: Vec<&SweepPoint> =
+            points.iter().filter(|p| p.coding == coding).collect();
+        filtered.sort_by(|a, b| {
+            a.noise_level
+                .partial_cmp(&b.noise_level)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let method = filtered
+            .first()
+            .map(|p| p.method_label())
+            .unwrap_or_else(|| coding.label());
+        Table1Row {
+            dataset: dataset.to_string(),
+            method,
+            accuracies: filtered.iter().map(|p| p.accuracy_percent).collect(),
+            spikes: filtered.iter().map(|p| p.mean_spikes).collect(),
+        }
+    }
+}
+
+/// Formats Table I: experimental results of spike deletion with accuracy and
+/// spike counts per method and dataset.
+pub fn format_table1(rows: &[Table1Row], levels: &[f64]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE I: spike deletion — accuracy (%) and mean spikes per inference\n");
+    out.push_str(&format!("{:<14}{:<14}", "Dataset", "Method"));
+    for l in levels {
+        if *l == 0.0 {
+            out.push_str(&format!("{:>10}", "Clean"));
+        } else {
+            out.push_str(&format!("{l:>10.1}"));
+        }
+    }
+    out.push_str(&format!("{:>10}", "Avg."));
+    out.push_str(&format!("{:>14}\n", "Avg. spikes"));
+    for row in rows {
+        out.push_str(&format!("{:<14}{:<14}", row.dataset, row.method));
+        for a in &row.accuracies {
+            out.push_str(&format!("{a:>9.2}%"));
+        }
+        out.push_str(&format!("{:>9.2}%", row.average_accuracy()));
+        out.push_str(&format!("{:>14.3e}\n", row.average_spikes()));
+    }
+    out
+}
+
+/// One row of Table II (jitter noise): accuracy at the paper's reporting
+/// points (clean, 1.0, 2.0, 3.0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method label.
+    pub method: String,
+    /// Accuracy (%) at each reported jitter intensity, in order.
+    pub accuracies: Vec<f32>,
+}
+
+impl Table2Row {
+    /// Average accuracy over the reported points.
+    pub fn average_accuracy(&self) -> f32 {
+        if self.accuracies.is_empty() {
+            return 0.0;
+        }
+        self.accuracies.iter().sum::<f32>() / self.accuracies.len() as f32
+    }
+
+    /// Builds a row from sweep points of a single coding.
+    pub fn from_points(dataset: &str, points: &[SweepPoint], coding: CodingKind) -> Self {
+        let series = series_for(points, coding);
+        Table2Row {
+            dataset: dataset.to_string(),
+            method: coding.label(),
+            accuracies: series.iter().map(|(_, a)| *a).collect(),
+        }
+    }
+}
+
+/// Formats Table II: accuracy of spike jitter per method and dataset.
+pub fn format_table2(rows: &[Table2Row], levels: &[f64]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE II: spike jitter — accuracy (%)\n");
+    out.push_str(&format!("{:<14}{:<14}", "Dataset", "Method"));
+    for l in levels {
+        if *l == 0.0 {
+            out.push_str(&format!("{:>10}", "Clean"));
+        } else {
+            out.push_str(&format!("{l:>10.1}"));
+        }
+    }
+    out.push_str(&format!("{:>10}\n", "Avg."));
+    for row in rows {
+        out.push_str(&format!("{:<14}{:<14}", row.dataset, row.method));
+        for a in &row.accuracies {
+            out.push_str(&format!("{a:>9.2}%"));
+        }
+        out.push_str(&format!("{:>9.2}%\n", row.average_accuracy()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> Vec<SweepPoint> {
+        vec![
+            SweepPoint {
+                coding: CodingKind::Rate,
+                weight_scaled: true,
+                noise_level: 0.0,
+                accuracy_percent: 95.0,
+                mean_spikes: 1000.0,
+            },
+            SweepPoint {
+                coding: CodingKind::Rate,
+                weight_scaled: true,
+                noise_level: 0.5,
+                accuracy_percent: 60.0,
+                mean_spikes: 500.0,
+            },
+            SweepPoint {
+                coding: CodingKind::Ttas(5),
+                weight_scaled: true,
+                noise_level: 0.0,
+                accuracy_percent: 93.0,
+                mean_spikes: 50.0,
+            },
+            SweepPoint {
+                coding: CodingKind::Ttas(5),
+                weight_scaled: true,
+                noise_level: 0.5,
+                accuracy_percent: 85.0,
+                mean_spikes: 25.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn sweep_table_contains_all_methods_and_levels() {
+        let table = format_sweep_table(&sample_points(), "Deletion p");
+        assert!(table.contains("Rate+WS"));
+        assert!(table.contains("TTAS(5)+WS"));
+        assert!(table.contains("0.50"));
+        assert!(table.contains("85.00%"));
+    }
+
+    #[test]
+    fn table1_row_statistics() {
+        let row = Table1Row::from_points("mnist-like", &sample_points(), CodingKind::Ttas(5));
+        assert_eq!(row.method, "TTAS(5)+WS");
+        assert_eq!(row.accuracies, vec![93.0, 85.0]);
+        assert!((row.average_accuracy() - 89.0).abs() < 1e-5);
+        assert!((row.average_spikes() - 37.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn table1_formatting_includes_headers_and_rows() {
+        let rows = vec![
+            Table1Row::from_points("mnist-like", &sample_points(), CodingKind::Rate),
+            Table1Row::from_points("mnist-like", &sample_points(), CodingKind::Ttas(5)),
+        ];
+        let text = format_table1(&rows, &[0.0, 0.5]);
+        assert!(text.contains("TABLE I"));
+        assert!(text.contains("Clean"));
+        assert!(text.contains("Rate+WS"));
+        assert!(text.contains("Avg. spikes"));
+    }
+
+    #[test]
+    fn table2_row_and_formatting() {
+        let row = Table2Row::from_points("cifar10-like", &sample_points(), CodingKind::Rate);
+        assert_eq!(row.accuracies.len(), 2);
+        let text = format_table2(&[row], &[0.0, 0.5]);
+        assert!(text.contains("TABLE II"));
+        assert!(text.contains("cifar10-like"));
+    }
+
+    #[test]
+    fn empty_rows_have_zero_averages() {
+        let row = Table1Row {
+            dataset: "x".to_string(),
+            method: "y".to_string(),
+            accuracies: vec![],
+            spikes: vec![],
+        };
+        assert_eq!(row.average_accuracy(), 0.0);
+        assert_eq!(row.average_spikes(), 0.0);
+        let row2 = Table2Row {
+            dataset: "x".to_string(),
+            method: "y".to_string(),
+            accuracies: vec![],
+        };
+        assert_eq!(row2.average_accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Labelled datasets and mini-batch iteration.
+
+use nrsnn_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{DataError, Result};
+
+/// A labelled set of samples: a `(samples x features)` input tensor, one
+/// integer label per row and the spatial interpretation of a row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledSet {
+    /// Input tensor of shape `(samples, features)` with values in `[0, 1]`.
+    pub inputs: Tensor,
+    /// One class label per sample.
+    pub labels: Vec<usize>,
+    /// Number of classes in the underlying task.
+    pub num_classes: usize,
+    /// Spatial shape of a single row, `[channels, height, width]`.
+    pub feature_shape: [usize; 3],
+}
+
+impl LabelledSet {
+    /// Creates a labelled set after validating consistency.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidSpec`] if row count and label count
+    /// disagree, a label is out of range, or the feature shape does not
+    /// match the row width.
+    pub fn new(
+        inputs: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+        feature_shape: [usize; 3],
+    ) -> Result<Self> {
+        if inputs.shape().rank() != 2 {
+            return Err(DataError::InvalidSpec(
+                "inputs must be rank 2 (samples x features)".to_string(),
+            ));
+        }
+        if inputs.dims()[0] != labels.len() {
+            return Err(DataError::InvalidSpec(format!(
+                "{} rows but {} labels",
+                inputs.dims()[0],
+                labels.len()
+            )));
+        }
+        let feat: usize = feature_shape.iter().product();
+        if inputs.dims()[1] != feat {
+            return Err(DataError::InvalidSpec(format!(
+                "feature shape {feature_shape:?} implies width {feat}, inputs have {}",
+                inputs.dims()[1]
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::InvalidSpec(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(LabelledSet {
+            inputs,
+            labels,
+            num_classes,
+            feature_shape,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the set has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn feature_len(&self) -> usize {
+        self.feature_shape.iter().product()
+    }
+
+    /// Selects a subset of the samples by index (used to keep spiking
+    /// simulations affordable).
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidSpec`] if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Result<LabelledSet> {
+        let rows = indices
+            .iter()
+            .map(|&i| {
+                if i >= self.len() {
+                    Err(DataError::InvalidSpec(format!("index {i} out of range")))
+                } else {
+                    Ok(self.inputs.row(i)?)
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let inputs = Tensor::stack_rows(&rows)?;
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        LabelledSet::new(inputs, labels, self.num_classes, self.feature_shape)
+    }
+
+    /// Takes the first `n` samples (or all of them if fewer).
+    ///
+    /// # Errors
+    /// Propagates tensor errors.
+    pub fn take(&self, n: usize) -> Result<LabelledSet> {
+        let n = n.min(self.len());
+        let idx: Vec<usize> = (0..n).collect();
+        self.subset(&idx)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+/// Iterates over mini-batches of a [`LabelledSet`] in a (possibly shuffled)
+/// order.
+#[derive(Debug)]
+pub struct Batcher {
+    order: Vec<usize>,
+    batch_size: usize,
+}
+
+impl Batcher {
+    /// Creates a batcher over `set.len()` samples.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidSpec`] if `batch_size` is zero.
+    pub fn new(set: &LabelledSet, batch_size: usize) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidSpec("batch size must be non-zero".to_string()));
+        }
+        Ok(Batcher {
+            order: (0..set.len()).collect(),
+            batch_size,
+        })
+    }
+
+    /// Shuffles the iteration order.
+    pub fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        self.order.shuffle(rng);
+    }
+
+    /// Yields `(inputs, labels)` mini-batches from `set`.
+    ///
+    /// # Errors
+    /// Propagates tensor errors.
+    pub fn batches(&self, set: &LabelledSet) -> Result<Vec<(Tensor, Vec<usize>)>> {
+        let mut out = Vec::new();
+        for chunk in self.order.chunks(self.batch_size) {
+            let rows = chunk
+                .iter()
+                .map(|&i| set.inputs.row(i))
+                .collect::<std::result::Result<Vec<_>, _>>()?;
+            let x = Tensor::stack_rows(&rows)?;
+            let y = chunk.iter().map(|&i| set.labels[i]).collect();
+            out.push((x, y));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_set() -> LabelledSet {
+        let inputs = Tensor::from_vec((0..12).map(|i| i as f32 / 12.0).collect(), &[6, 2]).unwrap();
+        LabelledSet::new(inputs, vec![0, 1, 0, 1, 0, 1], 2, [1, 1, 2]).unwrap()
+    }
+
+    #[test]
+    fn new_validates_labels_and_shape() {
+        let inputs = Tensor::zeros(&[2, 4]);
+        assert!(LabelledSet::new(inputs.clone(), vec![0, 5], 3, [1, 2, 2]).is_err());
+        assert!(LabelledSet::new(inputs.clone(), vec![0], 3, [1, 2, 2]).is_err());
+        assert!(LabelledSet::new(inputs, vec![0, 1], 3, [1, 3, 3]).is_err());
+    }
+
+    #[test]
+    fn subset_and_take() {
+        let set = tiny_set();
+        let sub = set.subset(&[0, 2, 4]).unwrap();
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.labels, vec![0, 0, 0]);
+        let head = set.take(2).unwrap();
+        assert_eq!(head.len(), 2);
+        assert!(set.subset(&[10]).is_err());
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let set = tiny_set();
+        assert_eq!(set.class_histogram(), vec![3, 3]);
+    }
+
+    #[test]
+    fn batcher_covers_all_samples() {
+        let set = tiny_set();
+        let batcher = Batcher::new(&set, 4).unwrap();
+        let batches = batcher.batches(&set).unwrap();
+        assert_eq!(batches.len(), 2);
+        let total: usize = batches.iter().map(|(_, y)| y.len()).sum();
+        assert_eq!(total, 6);
+        assert_eq!(batches[0].0.dims(), &[4, 2]);
+        assert_eq!(batches[1].0.dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn batcher_shuffle_permutes() {
+        let set = tiny_set();
+        let mut batcher = Batcher::new(&set, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        batcher.shuffle(&mut rng);
+        let batches = batcher.batches(&set).unwrap();
+        // Same multiset of labels regardless of shuffling.
+        let mut labels = batches[0].1.clone();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let set = tiny_set();
+        assert!(Batcher::new(&set, 0).is_err());
+    }
+}

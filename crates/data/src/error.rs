@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+use nrsnn_tensor::TensorError;
+
+/// Error type for dataset generation and batching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A tensor operation failed while assembling the dataset.
+    Tensor(TensorError),
+    /// The dataset specification was invalid (zero classes, zero pixels, …).
+    InvalidSpec(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::InvalidSpec(msg) => write!(f, "invalid dataset spec: {msg}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            DataError::InvalidSpec(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message() {
+        let e = DataError::InvalidSpec("zero classes".to_string());
+        assert!(e.to_string().contains("zero classes"));
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = TensorError::ShapeDataMismatch {
+            elements: 1,
+            expected: 2,
+        };
+        assert!(matches!(DataError::from(te), DataError::Tensor(_)));
+    }
+}

@@ -1,0 +1,41 @@
+//! # nrsnn-data
+//!
+//! Synthetic image-classification datasets standing in for MNIST, CIFAR-10
+//! and CIFAR-100 in the NRSNN reproduction.
+//!
+//! The original paper evaluates on the real datasets; this workspace runs in
+//! an offline environment without dataset downloads, so we substitute
+//! deterministic, prototype-based synthetic datasets at the same spatial
+//! scales (see `DESIGN.md` §2 for the substitution argument).  Each class is
+//! defined by a smooth random prototype image; samples are the prototype
+//! plus pixel noise and a small random translation, clamped to `[0, 1]` so
+//! they can directly drive spike encoders.
+//!
+//! ## Example
+//!
+//! ```
+//! use nrsnn_data::{DatasetSpec, SyntheticDataset};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), nrsnn_data::DataError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let spec = DatasetSpec::mnist_like().with_samples(64, 16);
+//! let data = SyntheticDataset::generate(&spec, &mut rng)?;
+//! assert_eq!(data.train.inputs.dims()[0], 64);
+//! assert_eq!(data.train.feature_len(), 28 * 28);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod synthetic;
+
+pub use dataset::{Batcher, LabelledSet};
+pub use error::DataError;
+pub use synthetic::{DatasetSpec, SyntheticDataset};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,198 @@
+//! Activation layers: ReLU and softmax.
+
+use nrsnn_tensor::Tensor;
+
+use crate::{DnnError, Layer, Mode, Result};
+
+/// Rectified linear unit, `y = max(0, x)`.
+///
+/// In the DNN-to-SNN conversion this layer is what the spiking (IF) neuron
+/// replaces: ReLU activations map onto firing rates / spike times.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a new ReLU layer.
+    pub fn new() -> Self {
+        Relu { cached_input: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        None
+    }
+
+    fn output_width(&self) -> Option<usize> {
+        None
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| DnnError::BackwardBeforeForward {
+                layer: "relu".to_string(),
+            })?;
+        Ok(input.zip_map(grad_output, |x, g| if x > 0.0 { g } else { 0.0 })?)
+    }
+}
+
+/// Softmax over the last dimension of a `(batch x classes)` tensor.
+///
+/// Normally the loss fuses softmax with cross-entropy; this standalone layer
+/// exists for inference-time probability outputs and for tests.
+#[derive(Debug, Clone, Default)]
+pub struct Softmax {
+    cached_output: Option<Tensor>,
+}
+
+impl Softmax {
+    /// Creates a new softmax layer.
+    pub fn new() -> Self {
+        Softmax {
+            cached_output: None,
+        }
+    }
+
+    /// Applies a numerically stable softmax to each row of `logits`.
+    ///
+    /// # Errors
+    /// Returns a tensor error if `logits` is not rank 2.
+    pub fn apply(logits: &Tensor) -> Result<Tensor> {
+        if logits.shape().rank() != 2 {
+            return Err(DnnError::InvalidConfig(format!(
+                "softmax expects rank-2 logits, got rank {}",
+                logits.shape().rank()
+            )));
+        }
+        let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+        let lv = logits.as_slice();
+        let mut out = vec![0.0f32; batch * classes];
+        for b in 0..batch {
+            let row = &lv[b * classes..(b + 1) * classes];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for (j, e) in exps.iter().enumerate() {
+                out[b * classes + j] = e / sum;
+            }
+        }
+        Ok(Tensor::from_vec(out, &[batch, classes])?)
+    }
+}
+
+impl Layer for Softmax {
+    fn name(&self) -> &str {
+        "softmax"
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        None
+    }
+
+    fn output_width(&self) -> Option<usize> {
+        None
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = Softmax::apply(input)?;
+        if mode == Mode::Train {
+            self.cached_output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let y = self
+            .cached_output
+            .as_ref()
+            .ok_or_else(|| DnnError::BackwardBeforeForward {
+                layer: "softmax".to_string(),
+            })?;
+        // dL/dx_i = y_i * (g_i - Σ_j g_j y_j), rowwise.
+        let (batch, classes) = (y.dims()[0], y.dims()[1]);
+        let yv = y.as_slice();
+        let gv = grad_output.as_slice();
+        let mut out = vec![0.0f32; batch * classes];
+        for b in 0..batch {
+            let dot: f32 = (0..classes)
+                .map(|j| gv[b * classes + j] * yv[b * classes + j])
+                .sum();
+            for j in 0..classes {
+                out[b * classes + j] = yv[b * classes + j] * (gv[b * classes + j] - dot);
+            }
+        }
+        Ok(Tensor::from_vec(out, &[batch, classes])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[1, 3]).unwrap();
+        let y = relu.forward(&x, Mode::Infer).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[1, 3]).unwrap();
+        let _ = relu.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]).unwrap();
+        let dx = relu.backward(&g).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = Softmax::apply(&logits).unwrap();
+        for b in 0..2 {
+            let row = p.row(b).unwrap();
+            assert!((row.sum() - 1.0).abs() < 1e-5);
+            assert!(row.as_slice().iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.add_scalar(100.0);
+        let pa = Softmax::apply(&a).unwrap();
+        let pb = Softmax::apply(&b).unwrap();
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rejects_rank1() {
+        let v = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(Softmax::apply(&v).is_err());
+    }
+
+    #[test]
+    fn relu_backward_requires_forward() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(&[1, 3])).is_err());
+    }
+}

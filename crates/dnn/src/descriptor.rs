@@ -1,0 +1,110 @@
+//! Conversion-oriented layer descriptions.
+//!
+//! DNN-to-SNN conversion (in `nrsnn-snn`) does not need the full training
+//! machinery of a layer, only its weights and geometry.  [`LayerDescriptor`]
+//! is the narrow interface between the two crates.
+
+use nrsnn_tensor::{Conv2dGeometry, Pool2dGeometry, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A description of a trained layer sufficient for DNN-to-SNN conversion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerDescriptor {
+    /// A fully connected layer `y = W·x + b` with `W: (out x in)`.
+    Linear {
+        /// Weight matrix of shape `(out_features, in_features)`.
+        weights: Tensor,
+        /// Bias vector of length `out_features`.
+        bias: Tensor,
+    },
+    /// A 2-D convolution layer with flattened kernel bank
+    /// `W: (out_channels x in_channels·k·k)`.
+    Conv {
+        /// Flattened kernel bank of shape `(out_channels, patch_len)`.
+        weights: Tensor,
+        /// Bias vector of length `out_channels`.
+        bias: Tensor,
+        /// Input geometry of the convolution.
+        geometry: Conv2dGeometry,
+    },
+    /// Average pooling (parameter-free, preserved during conversion because
+    /// averaging commutes with spike counting).
+    AvgPool {
+        /// Pooling geometry.
+        geometry: Pool2dGeometry,
+    },
+}
+
+impl LayerDescriptor {
+    /// Number of output features produced by the described layer.
+    pub fn output_width(&self) -> usize {
+        match self {
+            LayerDescriptor::Linear { weights, .. } => weights.dims()[0],
+            LayerDescriptor::Conv { weights, geometry, .. } => {
+                weights.dims()[0] * geometry.out_positions()
+            }
+            LayerDescriptor::AvgPool { geometry } => geometry.out_len(),
+        }
+    }
+
+    /// Number of input features consumed by the described layer.
+    pub fn input_width(&self) -> usize {
+        match self {
+            LayerDescriptor::Linear { weights, .. } => weights.dims()[1],
+            LayerDescriptor::Conv { geometry, .. } => geometry.in_len(),
+            LayerDescriptor::AvgPool { geometry } => geometry.in_len(),
+        }
+    }
+
+    /// Returns `true` if the layer has trainable weights (Linear / Conv).
+    pub fn has_weights(&self) -> bool {
+        !matches!(self, LayerDescriptor::AvgPool { .. })
+    }
+
+    /// A short kind label for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerDescriptor::Linear { .. } => "linear",
+            LayerDescriptor::Conv { .. } => "conv",
+            LayerDescriptor::AvgPool { .. } => "avgpool",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_widths() {
+        let d = LayerDescriptor::Linear {
+            weights: Tensor::zeros(&[3, 5]),
+            bias: Tensor::zeros(&[3]),
+        };
+        assert_eq!(d.output_width(), 3);
+        assert_eq!(d.input_width(), 5);
+        assert!(d.has_weights());
+        assert_eq!(d.kind(), "linear");
+    }
+
+    #[test]
+    fn conv_widths() {
+        let geometry = Conv2dGeometry::new(1, 4, 4, 3, 1, 1).unwrap();
+        let d = LayerDescriptor::Conv {
+            weights: Tensor::zeros(&[2, 9]),
+            bias: Tensor::zeros(&[2]),
+            geometry,
+        };
+        assert_eq!(d.input_width(), 16);
+        assert_eq!(d.output_width(), 2 * 16);
+    }
+
+    #[test]
+    fn avgpool_widths() {
+        let geometry = Pool2dGeometry::new(2, 4, 4, 2, 2).unwrap();
+        let d = LayerDescriptor::AvgPool { geometry };
+        assert_eq!(d.input_width(), 32);
+        assert_eq!(d.output_width(), 8);
+        assert!(!d.has_weights());
+    }
+}

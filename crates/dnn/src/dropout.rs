@@ -1,0 +1,155 @@
+//! Dropout regularisation.
+//!
+//! Dropout matters for this reproduction beyond its usual regularisation
+//! role: the paper (§III) attributes part of TTFS coding's robustness to the
+//! *all-or-none* activation statistics induced by training the source DNN
+//! with dropout, so converted networks should be trained with it enabled.
+
+use nrsnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DnnError, Layer, Mode, Result};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1-p)`; inference is a
+/// no-op.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    probability: f32,
+    rng: StdRng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `probability` and a
+    /// deterministic internal RNG seeded with `seed`.
+    ///
+    /// # Errors
+    /// Returns [`DnnError::InvalidConfig`] unless `0.0 <= probability < 1.0`.
+    pub fn new(probability: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&probability) {
+            return Err(DnnError::InvalidConfig(format!(
+                "dropout probability must be in [0, 1), got {probability}"
+            )));
+        }
+        Ok(Dropout {
+            probability,
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: None,
+        })
+    }
+
+    /// The configured drop probability.
+    pub fn probability(&self) -> f32 {
+        self.probability
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        "dropout"
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        None
+    }
+
+    fn output_width(&self) -> Option<usize> {
+        None
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        match mode {
+            Mode::Infer => Ok(input.clone()),
+            Mode::Train => {
+                if self.probability == 0.0 {
+                    self.cached_mask = Some(Tensor::ones(&[input.len()]));
+                    return Ok(input.clone());
+                }
+                let keep = 1.0 - self.probability;
+                let mask_data: Vec<f32> = (0..input.len())
+                    .map(|_| {
+                        if self.rng.gen::<f32>() < self.probability {
+                            0.0
+                        } else {
+                            1.0 / keep
+                        }
+                    })
+                    .collect();
+                let mask = Tensor::from_vec(mask_data, &[input.len()])?;
+                let flat = input.reshape(&[input.len()])?;
+                let out = flat.mul(&mask)?.reshape(input.dims())?;
+                self.cached_mask = Some(mask);
+                Ok(out)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or_else(|| DnnError::BackwardBeforeForward {
+                layer: "dropout".to_string(),
+            })?;
+        let flat = grad_output.reshape(&[grad_output.len()])?;
+        Ok(flat.mul(mask)?.reshape(grad_output.dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 0).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap();
+        let y = d.forward(&x, Mode::Infer).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.5, 7).unwrap();
+        let x = Tensor::ones(&[1, 10_000]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((4_000..6_000).contains(&zeros), "zeroed {zeros}");
+        // survivors are scaled to preserve expectation
+        assert!((y.mean() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones(&[1, 100]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(&[1, 100]);
+        let dx = d.backward(&g).unwrap();
+        for (a, b) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_training() {
+        let mut d = Dropout::new(0.0, 1).unwrap();
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap();
+        let y = d.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+    }
+
+    #[test]
+    fn no_descriptor_for_conversion() {
+        let d = Dropout::new(0.3, 0).unwrap();
+        assert!(d.descriptor().is_none());
+    }
+}

@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+use nrsnn_tensor::TensorError;
+
+/// Error type for DNN construction, training and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DnnError {
+    /// An underlying tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// The network or layer was used with an input of the wrong width.
+    InputWidthMismatch {
+        /// Width the layer expects.
+        expected: usize,
+        /// Width that was provided.
+        actual: usize,
+        /// Layer name.
+        layer: String,
+    },
+    /// `backward` was called before `forward` on a layer that caches inputs.
+    BackwardBeforeForward {
+        /// Layer name.
+        layer: String,
+    },
+    /// Labels and inputs disagree in batch size, or a label is out of range.
+    InvalidLabels(String),
+    /// A configuration value was invalid (zero batch size, empty network, …).
+    InvalidConfig(String),
+    /// Weight (de)serialization failed.
+    Serialization(String),
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DnnError::InputWidthMismatch {
+                expected,
+                actual,
+                layer,
+            } => write!(
+                f,
+                "layer {layer} expected input width {expected}, got {actual}"
+            ),
+            DnnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            DnnError::InvalidLabels(msg) => write!(f, "invalid labels: {msg}"),
+            DnnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DnnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl Error for DnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DnnError {
+    fn from(e: TensorError) -> Self {
+        DnnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DnnError::InputWidthMismatch {
+            expected: 10,
+            actual: 5,
+            layer: "dense0".to_string(),
+        };
+        assert!(e.to_string().contains("dense0"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = TensorError::ShapeDataMismatch {
+            elements: 1,
+            expected: 2,
+        };
+        let de: DnnError = te.clone().into();
+        assert_eq!(de, DnnError::Tensor(te));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+}

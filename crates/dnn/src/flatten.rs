@@ -1,0 +1,63 @@
+//! Flatten marker layer.
+//!
+//! All tensors in this workspace are already stored as flattened rows, so
+//! `Flatten` is the identity at runtime.  It exists to make architectures
+//! read naturally (conv → flatten → dense) and to document where the spatial
+//! interpretation of a row ends.
+
+use nrsnn_tensor::Tensor;
+
+use crate::{Layer, Mode, Result};
+
+/// Identity layer marking the conv-to-dense boundary of an architecture.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flatten;
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        "flatten"
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        None
+    }
+
+    fn output_width(&self) -> Option<usize> {
+        None
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        Ok(input.clone())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        Ok(grad_output.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_is_identity() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        assert_eq!(f.forward(&x, Mode::Train).unwrap().as_slice(), x.as_slice());
+        assert_eq!(f.backward(&x).unwrap().as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn flatten_has_no_params_or_descriptor() {
+        let f = Flatten::new();
+        assert_eq!(f.param_count(), 0);
+        assert!(f.descriptor().is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! # nrsnn-dnn
+//!
+//! A from-scratch deep-neural-network substrate used to train the analog
+//! (ReLU) networks that are later converted to spiking networks by
+//! `nrsnn-snn`.  The paper's noise-robustness study relies on DNN-to-SNN
+//! conversion, so a trainable DNN stack is a prerequisite substrate.
+//!
+//! The crate provides:
+//!
+//! * a [`Layer`] trait with dense, convolutional, pooling, ReLU, dropout and
+//!   flatten layers, each with full forward/backward passes;
+//! * softmax cross-entropy loss ([`loss::SoftmaxCrossEntropy`]);
+//! * SGD-with-momentum and Adam optimizers;
+//! * a [`Sequential`] container with a training loop, evaluation and
+//!   activation recording (needed for data-based threshold balancing during
+//!   conversion);
+//! * weight (de)serialization.
+//!
+//! ## Example
+//!
+//! ```
+//! use nrsnn_dnn::{Dense, Relu, Sequential, Sgd, SoftmaxCrossEntropy, TrainConfig};
+//! use nrsnn_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), nrsnn_dnn::DnnError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new();
+//! net.push(Dense::new(&mut rng, 4, 8)?);
+//! net.push(Relu::new());
+//! net.push(Dense::new(&mut rng, 8, 2)?);
+//!
+//! // Tiny two-class problem: classify by sign of the first feature.
+//! let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0], &[2, 4])?;
+//! let y = vec![0usize, 1usize];
+//! let cfg = TrainConfig { epochs: 50, batch_size: 2, ..TrainConfig::default() };
+//! let mut opt = Sgd::new(0.1, 0.9);
+//! net.fit(&x, &y, &mut opt, &SoftmaxCrossEntropy::new(), &cfg, &mut rng)?;
+//! assert!(net.evaluate(&x, &y)?.accuracy > 0.99);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod activation;
+mod conv;
+mod dense;
+mod descriptor;
+mod dropout;
+mod error;
+mod flatten;
+mod layer;
+pub mod loss;
+mod metrics;
+mod network;
+mod optimizer;
+mod pooling;
+mod serialize;
+
+pub use activation::{Relu, Softmax};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use descriptor::LayerDescriptor;
+pub use dropout::Dropout;
+pub use error::DnnError;
+pub use flatten::Flatten;
+pub use layer::{Layer, Mode};
+pub use loss::SoftmaxCrossEntropy;
+pub use metrics::{accuracy, confusion_matrix, EvalReport};
+pub use network::{Sequential, TrainConfig, TrainReport};
+pub use optimizer::{Adam, Optimizer, Sgd};
+pub use pooling::{AvgPool2d, MaxPool2d};
+pub use serialize::{load_network_weights, save_network_weights, NetworkWeights};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DnnError>;

@@ -1,0 +1,145 @@
+//! Loss functions.
+
+use nrsnn_tensor::Tensor;
+
+use crate::{DnnError, Result, Softmax};
+
+/// Softmax cross-entropy loss over integer class labels.
+///
+/// The forward pass returns the mean loss over the batch and the backward
+/// pass returns the gradient with respect to the *logits* (softmax and
+/// cross-entropy are fused for numerical stability).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+
+    /// Computes the mean cross-entropy loss of `logits` (`batch x classes`)
+    /// against integer `labels`.
+    ///
+    /// # Errors
+    /// Returns [`DnnError::InvalidLabels`] if the batch sizes differ or a
+    /// label is out of range.
+    pub fn loss(&self, logits: &Tensor, labels: &[usize]) -> Result<f32> {
+        let (probs, _) = self.check_and_softmax(logits, labels)?;
+        let classes = logits.dims()[1];
+        let pv = probs.as_slice();
+        let mut total = 0.0f32;
+        for (b, &label) in labels.iter().enumerate() {
+            let p = pv[b * classes + label].max(1e-12);
+            total -= p.ln();
+        }
+        Ok(total / labels.len() as f32)
+    }
+
+    /// Computes both the mean loss and the gradient of the loss with respect
+    /// to the logits: `(softmax(logits) - onehot(labels)) / batch`.
+    ///
+    /// # Errors
+    /// Returns [`DnnError::InvalidLabels`] for mismatched or out-of-range
+    /// labels.
+    pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+        let (probs, batch) = self.check_and_softmax(logits, labels)?;
+        let classes = logits.dims()[1];
+        let pv = probs.as_slice();
+        let mut grad = pv.to_vec();
+        let mut total = 0.0f32;
+        for (b, &label) in labels.iter().enumerate() {
+            let p = pv[b * classes + label].max(1e-12);
+            total -= p.ln();
+            grad[b * classes + label] -= 1.0;
+        }
+        let scale = 1.0 / batch as f32;
+        for g in &mut grad {
+            *g *= scale;
+        }
+        Ok((
+            total / batch as f32,
+            Tensor::from_vec(grad, &[batch, classes])?,
+        ))
+    }
+
+    fn check_and_softmax(&self, logits: &Tensor, labels: &[usize]) -> Result<(Tensor, usize)> {
+        if logits.shape().rank() != 2 {
+            return Err(DnnError::InvalidLabels(
+                "logits must be rank 2 (batch x classes)".to_string(),
+            ));
+        }
+        let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+        if labels.len() != batch {
+            return Err(DnnError::InvalidLabels(format!(
+                "batch size {batch} but {} labels",
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(DnnError::InvalidLabels(format!(
+                "label {bad} out of range for {classes} classes"
+            )));
+        }
+        Ok((Softmax::apply(logits)?, batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[2, 4]);
+        let l = loss.loss(&logits, &[0, 3]).unwrap();
+        assert!((l - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        assert!(loss.loss(&logits, &[0]).unwrap() < 0.01);
+        assert!(loss.loss(&logits, &[1]).unwrap() > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.0, -0.6], &[2, 3]).unwrap();
+        let labels = [2usize, 0usize];
+        let (_, grad) = loss.loss_and_grad(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fd = (loss.loss(&lp, &labels).unwrap() - loss.loss(&lm, &labels).unwrap())
+                / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "logit {i}: fd {fd} analytic {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap();
+        let (_, grad) = loss.loss_and_grad(&logits, &[1]).unwrap();
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn label_validation() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(loss.loss(&logits, &[0]).is_err());
+        assert!(loss.loss(&logits, &[0, 3]).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Classification metrics.
+
+use nrsnn_tensor::Tensor;
+
+use crate::{DnnError, Result};
+
+/// Summary of a model evaluation over a labelled set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Fraction of correctly classified samples in `[0, 1]`.
+    pub accuracy: f32,
+    /// Mean loss if a loss function was evaluated, otherwise `None`.
+    pub mean_loss: Option<f32>,
+    /// Number of samples evaluated.
+    pub samples: usize,
+}
+
+impl EvalReport {
+    /// Accuracy expressed as a percentage, matching the paper's tables.
+    pub fn accuracy_percent(&self) -> f32 {
+        self.accuracy * 100.0
+    }
+}
+
+/// Computes classification accuracy of `logits` (`batch x classes`) against
+/// integer labels.
+///
+/// # Errors
+/// Returns [`DnnError::InvalidLabels`] if the batch sizes disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    if logits.shape().rank() != 2 || logits.dims()[0] != labels.len() {
+        return Err(DnnError::InvalidLabels(format!(
+            "logits shape {:?} incompatible with {} labels",
+            logits.dims(),
+            labels.len()
+        )));
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = (0..labels.len())
+        .filter(|&b| {
+            let row = logits.row(b).expect("row within batch");
+            row.argmax() == labels[b]
+        })
+        .count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+/// Computes the confusion matrix (`classes x classes`, rows = true label,
+/// columns = predicted label) for `logits` against `labels`.
+///
+/// # Errors
+/// Returns [`DnnError::InvalidLabels`] if sizes disagree or a label is out of
+/// range.
+pub fn confusion_matrix(logits: &Tensor, labels: &[usize], classes: usize) -> Result<Vec<Vec<usize>>> {
+    if logits.shape().rank() != 2 || logits.dims()[0] != labels.len() {
+        return Err(DnnError::InvalidLabels(
+            "logits batch does not match labels".to_string(),
+        ));
+    }
+    let mut matrix = vec![vec![0usize; classes]; classes];
+    for (b, &label) in labels.iter().enumerate() {
+        if label >= classes {
+            return Err(DnnError::InvalidLabels(format!(
+                "label {label} out of range for {classes} classes"
+            )));
+        }
+        let pred = logits.row(b)?.argmax();
+        if pred < classes {
+            matrix[label][pred] += 1;
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits_2x3() -> Tensor {
+        Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1], &[2, 3]).unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let logits = logits_2x3();
+        assert_eq!(accuracy(&logits, &[1, 0]).unwrap(), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 2]).unwrap(), 0.5);
+        assert_eq!(accuracy(&logits, &[0, 2]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_checks_batch() {
+        let logits = logits_2x3();
+        assert!(accuracy(&logits, &[1]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_totals() {
+        let logits = logits_2x3();
+        let cm = confusion_matrix(&logits, &[1, 2], 3).unwrap();
+        assert_eq!(cm[1][1], 1); // true 1 predicted 1
+        assert_eq!(cm[2][0], 1); // true 2 predicted 0
+        let total: usize = cm.iter().flatten().sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn confusion_matrix_rejects_bad_labels() {
+        let logits = logits_2x3();
+        assert!(confusion_matrix(&logits, &[1, 5], 3).is_err());
+    }
+
+    #[test]
+    fn report_percent() {
+        let r = EvalReport {
+            accuracy: 0.875,
+            mean_loss: None,
+            samples: 8,
+        };
+        assert!((r.accuracy_percent() - 87.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_labels_give_zero_accuracy() {
+        let logits = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]).unwrap(), 0.0);
+    }
+}

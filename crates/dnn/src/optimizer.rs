@@ -1,0 +1,219 @@
+//! Gradient-based optimizers.
+
+use std::collections::HashMap;
+
+use nrsnn_tensor::Tensor;
+
+/// An optimizer updates a parameter tensor in place given its gradient.
+///
+/// Parameters are identified by a stable integer key assigned by the network
+/// (layer-major, parameter-minor order), which is how stateful optimizers
+/// (momentum, Adam) find their per-parameter buffers.
+pub trait Optimizer: Send {
+    /// Applies one update step to `param` using `grad`.
+    fn step(&mut self, key: usize, param: &mut Tensor, grad: &Tensor);
+
+    /// Called once per optimizer step, before parameter visits (e.g. to
+    /// advance the Adam time step).
+    fn begin_step(&mut self) {}
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for simple schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate and momentum
+    /// coefficient (`0.0` disables momentum).
+    pub fn new(learning_rate: f32, momentum: f32) -> Self {
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, key: usize, param: &mut Tensor, grad: &Tensor) {
+        if self.momentum == 0.0 {
+            let _ = param.add_scaled_inplace(grad, -self.learning_rate);
+            return;
+        }
+        let velocity = self
+            .velocity
+            .entry(key)
+            .or_insert_with(|| Tensor::zeros(param.dims()));
+        // v = m·v + g ; p -= lr·v
+        let scaled = velocity.scale(self.momentum);
+        let mut v = scaled;
+        let _ = v.add_scaled_inplace(grad, 1.0);
+        let _ = param.add_scaled_inplace(&v, -self.learning_rate);
+        *velocity = v;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.learning_rate = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias-corrected moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    timestep: u64,
+    first_moment: HashMap<usize, Tensor>,
+    second_moment: HashMap<usize, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the canonical default betas
+    /// (`0.9`, `0.999`) and epsilon `1e-8`.
+    pub fn new(learning_rate: f32) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            timestep: 0,
+            first_moment: HashMap::new(),
+            second_moment: HashMap::new(),
+        }
+    }
+
+    /// Overrides the exponential decay rates.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.timestep += 1;
+    }
+
+    fn step(&mut self, key: usize, param: &mut Tensor, grad: &Tensor) {
+        if self.timestep == 0 {
+            self.timestep = 1;
+        }
+        let m = self
+            .first_moment
+            .entry(key)
+            .or_insert_with(|| Tensor::zeros(param.dims()));
+        let v = self
+            .second_moment
+            .entry(key)
+            .or_insert_with(|| Tensor::zeros(param.dims()));
+
+        let t = self.timestep as i32;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let mv = m.as_mut_slice();
+        let vv = v.as_mut_slice();
+        let gv = grad.as_slice();
+        let pv = param.as_mut_slice();
+        let bias1 = 1.0 - b1.powi(t);
+        let bias2 = 1.0 - b2.powi(t);
+        for i in 0..pv.len() {
+            mv[i] = b1 * mv[i] + (1.0 - b1) * gv[i];
+            vv[i] = b2 * vv[i] + (1.0 - b2) * gv[i] * gv[i];
+            let m_hat = mv[i] / bias1;
+            let v_hat = vv[i] / bias2;
+            pv[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.learning_rate = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(param: &Tensor) -> Tensor {
+        // d/dx of 0.5·x² is x.
+        param.clone()
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut x = Tensor::from_slice(&[10.0, -5.0]);
+        for _ in 0..100 {
+            let g = quadratic_grad(&x);
+            opt.step(0, &mut x, &g);
+        }
+        assert!(x.norm_sq() < 1e-4);
+    }
+
+    #[test]
+    fn sgd_momentum_descends_quadratic() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let mut x = Tensor::from_slice(&[4.0, 4.0]);
+        for _ in 0..200 {
+            let g = quadratic_grad(&x);
+            opt.step(0, &mut x, &g);
+        }
+        assert!(x.norm_sq() < 1e-3, "norm {}", x.norm_sq());
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let mut x = Tensor::from_slice(&[3.0, -2.0, 1.0]);
+        for _ in 0..300 {
+            opt.begin_step();
+            let g = quadratic_grad(&x);
+            opt.step(0, &mut x, &g);
+        }
+        assert!(x.norm_sq() < 1e-3, "norm {}", x.norm_sq());
+    }
+
+    #[test]
+    fn optimizers_keep_separate_state_per_key() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut a = Tensor::from_slice(&[1.0]);
+        let mut b = Tensor::from_slice(&[100.0]);
+        for _ in 0..10 {
+            let ga = quadratic_grad(&a);
+            let gb = quadratic_grad(&b);
+            opt.step(0, &mut a, &ga);
+            opt.step(1, &mut b, &gb);
+        }
+        // If the velocity buffers were shared, `a` would be blown far away
+        // from zero by `b`'s large gradients.
+        assert!(a.as_slice()[0].abs() < 1.0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+}

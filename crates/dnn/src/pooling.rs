@@ -1,0 +1,333 @@
+//! Average and max pooling layers.
+//!
+//! Average pooling is preferred in conversion-oriented architectures because
+//! averaging commutes with spike counting, so the pooled SNN layer can simply
+//! average post-synaptic currents.  Max pooling is provided for completeness
+//! and for pure-DNN baselines.
+
+use nrsnn_tensor::{Pool2dGeometry, Tensor};
+
+use crate::{DnnError, Layer, LayerDescriptor, Mode, Result};
+
+/// Average pooling over `(C, H, W)` feature maps flattened per row.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    name: String,
+    geometry: Pool2dGeometry,
+    cached_batch: Option<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    pub fn new(geometry: Pool2dGeometry) -> Self {
+        AvgPool2d {
+            name: format!(
+                "avgpool_{}x{}x{}_w{}s{}",
+                geometry.channels,
+                geometry.in_height,
+                geometry.in_width,
+                geometry.window,
+                geometry.stride
+            ),
+            geometry,
+            cached_batch: None,
+        }
+    }
+
+    /// The pooling geometry.
+    pub fn geometry(&self) -> &Pool2dGeometry {
+        &self.geometry
+    }
+}
+
+fn check_width(len: usize, expected: usize, name: &str) -> Result<()> {
+    if len != expected {
+        return Err(DnnError::InputWidthMismatch {
+            expected,
+            actual: len,
+            layer: name.to_string(),
+        });
+    }
+    Ok(())
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        Some(self.geometry.in_len())
+    }
+
+    fn output_width(&self) -> Option<usize> {
+        Some(self.geometry.out_len())
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        check_width(input.dims()[1], self.geometry.in_len(), &self.name)?;
+        let g = &self.geometry;
+        let batch = input.dims()[0];
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let xv = input.as_slice();
+        let mut out = vec![0.0f32; batch * g.out_len()];
+        let win_area = (g.window * g.window) as f32;
+        for b in 0..batch {
+            for c in 0..g.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..g.window {
+                            for kx in 0..g.window {
+                                let iy = oy * g.stride + ky;
+                                let ix = ox * g.stride + kx;
+                                acc += xv[b * g.in_len()
+                                    + c * g.in_height * g.in_width
+                                    + iy * g.in_width
+                                    + ix];
+                            }
+                        }
+                        out[b * g.out_len() + c * oh * ow + oy * ow + ox] = acc / win_area;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_batch = Some(batch);
+        }
+        Ok(Tensor::from_vec(out, &[batch, g.out_len()])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let batch = self
+            .cached_batch
+            .ok_or_else(|| DnnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let g = &self.geometry;
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let gv = grad_output.as_slice();
+        let mut out = vec![0.0f32; batch * g.in_len()];
+        let win_area = (g.window * g.window) as f32;
+        for b in 0..batch {
+            for c in 0..g.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let grad = gv[b * g.out_len() + c * oh * ow + oy * ow + ox] / win_area;
+                        for ky in 0..g.window {
+                            for kx in 0..g.window {
+                                let iy = oy * g.stride + ky;
+                                let ix = ox * g.stride + kx;
+                                out[b * g.in_len()
+                                    + c * g.in_height * g.in_width
+                                    + iy * g.in_width
+                                    + ix] += grad;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[batch, g.in_len()])?)
+    }
+
+    fn descriptor(&self) -> Option<LayerDescriptor> {
+        Some(LayerDescriptor::AvgPool {
+            geometry: self.geometry,
+        })
+    }
+}
+
+/// Max pooling over `(C, H, W)` feature maps flattened per row.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    name: String,
+    geometry: Pool2dGeometry,
+    cached_argmax: Option<Vec<usize>>,
+    cached_batch: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    pub fn new(geometry: Pool2dGeometry) -> Self {
+        MaxPool2d {
+            name: format!(
+                "maxpool_{}x{}x{}_w{}s{}",
+                geometry.channels,
+                geometry.in_height,
+                geometry.in_width,
+                geometry.window,
+                geometry.stride
+            ),
+            geometry,
+            cached_argmax: None,
+            cached_batch: 0,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        Some(self.geometry.in_len())
+    }
+
+    fn output_width(&self) -> Option<usize> {
+        Some(self.geometry.out_len())
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        check_width(input.dims()[1], self.geometry.in_len(), &self.name)?;
+        let g = &self.geometry;
+        let batch = input.dims()[0];
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let xv = input.as_slice();
+        let mut out = vec![0.0f32; batch * g.out_len()];
+        let mut argmax = vec![0usize; batch * g.out_len()];
+        for b in 0..batch {
+            for c in 0..g.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..g.window {
+                            for kx in 0..g.window {
+                                let iy = oy * g.stride + ky;
+                                let ix = ox * g.stride + kx;
+                                let idx = b * g.in_len()
+                                    + c * g.in_height * g.in_width
+                                    + iy * g.in_width
+                                    + ix;
+                                if xv[idx] > best {
+                                    best = xv[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = b * g.out_len() + c * oh * ow + oy * ow + ox;
+                        out[oidx] = best;
+                        argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_argmax = Some(argmax);
+            self.cached_batch = batch;
+        }
+        Ok(Tensor::from_vec(out, &[batch, g.out_len()])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .ok_or_else(|| DnnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let g = &self.geometry;
+        let gv = grad_output.as_slice();
+        let mut out = vec![0.0f32; self.cached_batch * g.in_len()];
+        for (oidx, &iidx) in argmax.iter().enumerate() {
+            out[iidx] += gv[oidx];
+        }
+        Ok(Tensor::from_vec(out, &[self.cached_batch, g.in_len()])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry_2x2() -> Pool2dGeometry {
+        Pool2dGeometry::new(1, 4, 4, 2, 2).unwrap()
+    }
+
+    fn input_4x4() -> Tensor {
+        Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 16],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let mut layer = AvgPool2d::new(geometry_2x2());
+        let y = layer.forward(&input_4x4(), Mode::Infer).unwrap();
+        assert_eq!(y.as_slice(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn max_pool_known_values() {
+        let mut layer = MaxPool2d::new(geometry_2x2());
+        let y = layer.forward(&input_4x4(), Mode::Infer).unwrap();
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_evenly() {
+        let mut layer = AvgPool2d::new(geometry_2x2());
+        let _ = layer.forward(&input_4x4(), Mode::Train).unwrap();
+        let g = Tensor::from_vec(vec![4.0, 0.0, 0.0, 0.0], &[1, 4]).unwrap();
+        let dx = layer.backward(&g).unwrap();
+        // 4.0 spread over the 2x2 top-left window -> 1.0 each.
+        assert_eq!(dx.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(dx.get(&[0, 5]).unwrap(), 1.0);
+        assert_eq!(dx.get(&[0, 2]).unwrap(), 0.0);
+        assert!((dx.sum() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let mut layer = MaxPool2d::new(geometry_2x2());
+        let _ = layer.forward(&input_4x4(), Mode::Train).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap();
+        let dx = layer.backward(&g).unwrap();
+        // maxima are at flat indices 5, 7, 13, 15
+        assert_eq!(dx.get(&[0, 5]).unwrap(), 1.0);
+        assert_eq!(dx.get(&[0, 7]).unwrap(), 2.0);
+        assert_eq!(dx.get(&[0, 13]).unwrap(), 3.0);
+        assert_eq!(dx.get(&[0, 15]).unwrap(), 4.0);
+        assert_eq!(dx.get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pooling_preserves_mean_for_avg() {
+        let mut layer = AvgPool2d::new(geometry_2x2());
+        let x = input_4x4();
+        let y = layer.forward(&x, Mode::Infer).unwrap();
+        assert!((x.mean() - y.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let mut layer = AvgPool2d::new(geometry_2x2());
+        let x = Tensor::zeros(&[1, 15]);
+        assert!(layer.forward(&x, Mode::Infer).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut a = AvgPool2d::new(geometry_2x2());
+        let mut m = MaxPool2d::new(geometry_2x2());
+        assert!(a.backward(&Tensor::zeros(&[1, 4])).is_err());
+        assert!(m.backward(&Tensor::zeros(&[1, 4])).is_err());
+    }
+
+    #[test]
+    fn avgpool_descriptor_present_maxpool_absent() {
+        let a = AvgPool2d::new(geometry_2x2());
+        let m = MaxPool2d::new(geometry_2x2());
+        assert!(a.descriptor().is_some());
+        assert!(m.descriptor().is_none());
+    }
+}

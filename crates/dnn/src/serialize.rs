@@ -1,0 +1,154 @@
+//! Weight (de)serialization for trained networks.
+//!
+//! A trained DNN can be saved to JSON and reloaded later (e.g. to convert the
+//! same network under several coding schemes without retraining).
+
+use std::fs;
+use std::path::Path;
+
+use nrsnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{DnnError, Result, Sequential};
+
+/// All trainable parameters of a network in layer-major, parameter-minor
+/// order (the same order in which [`Sequential::visit_params`] visits them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkWeights {
+    /// Flat list of parameter tensors.
+    pub params: Vec<Tensor>,
+}
+
+impl NetworkWeights {
+    /// Extracts the current parameters of a network.
+    pub fn from_network(network: &mut Sequential) -> Self {
+        let mut params = Vec::new();
+        network.visit_params(&mut |param, _| params.push(param.clone()));
+        NetworkWeights { params }
+    }
+
+    /// Writes the parameters back into a network with the same architecture.
+    ///
+    /// # Errors
+    /// Returns [`DnnError::Serialization`] if the parameter count or any
+    /// shape differs.
+    pub fn apply_to(&self, network: &mut Sequential) -> Result<()> {
+        let mut idx = 0usize;
+        let mut mismatch: Option<String> = None;
+        network.visit_params(&mut |param, _| {
+            if mismatch.is_some() {
+                return;
+            }
+            match self.params.get(idx) {
+                Some(saved) if saved.dims() == param.dims() => {
+                    *param = saved.clone();
+                }
+                Some(saved) => {
+                    mismatch = Some(format!(
+                        "parameter {idx} shape mismatch: saved {:?}, network {:?}",
+                        saved.dims(),
+                        param.dims()
+                    ));
+                }
+                None => mismatch = Some(format!("missing parameter {idx} in saved weights")),
+            }
+            idx += 1;
+        });
+        if let Some(msg) = mismatch {
+            return Err(DnnError::Serialization(msg));
+        }
+        if idx != self.params.len() {
+            return Err(DnnError::Serialization(format!(
+                "saved weights have {} parameters but network has {idx}",
+                self.params.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Saves the parameters of `network` as JSON at `path`.
+///
+/// # Errors
+/// Returns [`DnnError::Serialization`] on I/O or encoding failures.
+pub fn save_network_weights<P: AsRef<Path>>(network: &mut Sequential, path: P) -> Result<()> {
+    let weights = NetworkWeights::from_network(network);
+    let json = serde_json::to_string(&weights)
+        .map_err(|e| DnnError::Serialization(format!("encode: {e}")))?;
+    fs::write(path, json).map_err(|e| DnnError::Serialization(format!("write: {e}")))
+}
+
+/// Loads parameters from JSON at `path` into `network`.
+///
+/// # Errors
+/// Returns [`DnnError::Serialization`] on I/O, decoding or shape mismatches.
+pub fn load_network_weights<P: AsRef<Path>>(network: &mut Sequential, path: P) -> Result<()> {
+    let json = fs::read_to_string(path).map_err(|e| DnnError::Serialization(format!("read: {e}")))?;
+    let weights: NetworkWeights =
+        serde_json::from_str(&json).map_err(|e| DnnError::Serialization(format!("decode: {e}")))?;
+    weights.apply_to(network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(&mut rng, 3, 4).unwrap());
+        net.push(Relu::new());
+        net.push(Dense::new(&mut rng, 4, 2).unwrap());
+        net
+    }
+
+    #[test]
+    fn weights_round_trip_in_memory() {
+        let mut a = small_net(1);
+        let mut b = small_net(2);
+        let x = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[1, 3]).unwrap();
+        let ya = a.predict(&x).unwrap();
+        let yb_before = b.predict(&x).unwrap();
+        assert_ne!(ya.as_slice(), yb_before.as_slice());
+
+        let w = NetworkWeights::from_network(&mut a);
+        w.apply_to(&mut b).unwrap();
+        let yb_after = b.predict(&x).unwrap();
+        assert_eq!(ya.as_slice(), yb_after.as_slice());
+    }
+
+    #[test]
+    fn apply_rejects_architecture_mismatch() {
+        let mut a = small_net(1);
+        let w = NetworkWeights::from_network(&mut a);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut other = Sequential::new();
+        other.push(Dense::new(&mut rng, 5, 2).unwrap());
+        assert!(w.apply_to(&mut other).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("nrsnn_dnn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.json");
+
+        let mut a = small_net(7);
+        save_network_weights(&mut a, &path).unwrap();
+        let mut b = small_net(8);
+        load_network_weights(&mut b, &path).unwrap();
+
+        let x = Tensor::from_vec(vec![0.5, -0.5, 1.0], &[1, 3]).unwrap();
+        assert_eq!(a.predict(&x).unwrap().as_slice(), b.predict(&x).unwrap().as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let mut net = small_net(0);
+        assert!(load_network_weights(&mut net, "/nonexistent/path/weights.json").is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Composition of several noise models.
+
+use rand::RngCore;
+
+use nrsnn_snn::{SpikeRaster, SpikeTransform};
+
+/// Applies a sequence of spike transforms one after another, e.g. deletion
+/// followed by jitter, to model hardware that suffers from both effects.
+#[derive(Default)]
+pub struct CompositeNoise {
+    stages: Vec<Box<dyn SpikeTransform + Send + Sync>>,
+}
+
+impl CompositeNoise {
+    /// Creates an empty composite (equivalent to the identity transform).
+    pub fn new() -> Self {
+        CompositeNoise { stages: Vec::new() }
+    }
+
+    /// Appends a stage (builder style).
+    #[must_use]
+    pub fn then<T: SpikeTransform + Send + Sync + 'static>(mut self, stage: T) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Returns `true` if no stages are configured.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl std::fmt::Debug for CompositeNoise {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CompositeNoise({})", self.describe())
+    }
+}
+
+impl SpikeTransform for CompositeNoise {
+    fn apply(&self, raster: &SpikeRaster, rng: &mut dyn RngCore) -> SpikeRaster {
+        let mut current = raster.clone();
+        for stage in &self.stages {
+            current = stage.apply(&current, rng);
+        }
+        current
+    }
+
+    fn describe(&self) -> String {
+        if self.stages.is_empty() {
+            return "clean".to_string();
+        }
+        self.stages
+            .iter()
+            .map(|s| s.describe())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeletionNoise, JitterNoise};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn raster() -> SpikeRaster {
+        SpikeRaster::from_trains(vec![(0..100).collect(), (0..100).collect()], 128)
+    }
+
+    #[test]
+    fn empty_composite_is_identity() {
+        let noise = CompositeNoise::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = raster();
+        assert_eq!(noise.apply(&r, &mut rng), r);
+        assert!(noise.is_empty());
+        assert_eq!(noise.describe(), "clean");
+    }
+
+    #[test]
+    fn deletion_then_jitter_reduces_count_and_moves_spikes() {
+        let noise = CompositeNoise::new()
+            .then(DeletionNoise::new(0.5).unwrap())
+            .then(JitterNoise::new(2.0).unwrap());
+        assert_eq!(noise.len(), 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = noise.apply(&raster(), &mut rng);
+        assert!(out.total_spikes() < 200);
+        assert!(out.total_spikes() > 50);
+    }
+
+    #[test]
+    fn describe_lists_all_stages() {
+        let noise = CompositeNoise::new()
+            .then(DeletionNoise::new(0.2).unwrap())
+            .then(JitterNoise::new(1.0).unwrap());
+        let d = noise.describe();
+        assert!(d.contains("deletion"));
+        assert!(d.contains("jitter"));
+        assert!(format!("{noise:?}").contains("deletion"));
+    }
+}

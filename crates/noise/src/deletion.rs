@@ -1,0 +1,124 @@
+//! Spike-deletion noise.
+
+use rand::{Rng, RngCore};
+
+use nrsnn_snn::{SpikeRaster, SpikeTransform};
+
+use crate::{NoiseError, Result};
+
+/// Independent per-spike deletion: every transmitted spike is dropped with
+/// probability `p` (the paper's deletion model, §III).
+///
+/// Deletion destroys part of the post-synaptic-current sum; how much of the
+/// carried *value* is destroyed depends entirely on the neural coding —
+/// graded for rate/phase/burst, all-or-none for TTFS, near-all-or-none for
+/// TTAS — which is the core observation of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeletionNoise {
+    probability: f64,
+}
+
+impl DeletionNoise {
+    /// Creates a deletion model with drop probability `probability`.
+    ///
+    /// # Errors
+    /// Returns [`NoiseError::InvalidParameter`] unless `0.0 ≤ p ≤ 1.0`.
+    pub fn new(probability: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&probability) || probability.is_nan() {
+            return Err(NoiseError::InvalidParameter(format!(
+                "deletion probability must be in [0, 1], got {probability}"
+            )));
+        }
+        Ok(DeletionNoise { probability })
+    }
+
+    /// The configured deletion probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+impl SpikeTransform for DeletionNoise {
+    fn apply(&self, raster: &SpikeRaster, rng: &mut dyn RngCore) -> SpikeRaster {
+        if self.probability == 0.0 {
+            return raster.clone();
+        }
+        raster.map_trains(|_, train| {
+            train
+                .iter()
+                .copied()
+                .filter(|_| rng.gen::<f64>() >= self.probability)
+                .collect()
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!("deletion(p={})", self.probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_raster(neurons: usize, steps: u32) -> SpikeRaster {
+        let trains = (0..neurons).map(|_| (0..steps).collect()).collect();
+        SpikeRaster::from_trains(trains, steps)
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        assert!(DeletionNoise::new(-0.1).is_err());
+        assert!(DeletionNoise::new(1.5).is_err());
+        assert!(DeletionNoise::new(f64::NAN).is_err());
+        assert!(DeletionNoise::new(0.0).is_ok());
+        assert!(DeletionNoise::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let raster = dense_raster(3, 50);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = DeletionNoise::new(0.0).unwrap().apply(&raster, &mut rng);
+        assert_eq!(out, raster);
+    }
+
+    #[test]
+    fn full_probability_deletes_everything() {
+        let raster = dense_raster(3, 50);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = DeletionNoise::new(1.0).unwrap().apply(&raster, &mut rng);
+        assert_eq!(out.total_spikes(), 0);
+    }
+
+    #[test]
+    fn survival_fraction_is_close_to_one_minus_p() {
+        let raster = dense_raster(100, 100); // 10_000 spikes
+        let mut rng = StdRng::seed_from_u64(7);
+        for p in [0.2, 0.5, 0.8] {
+            let out = DeletionNoise::new(p).unwrap().apply(&raster, &mut rng);
+            let survived = out.total_spikes() as f64 / 10_000.0;
+            assert!(
+                (survived - (1.0 - p)).abs() < 0.03,
+                "p {p}: survived {survived}"
+            );
+        }
+    }
+
+    #[test]
+    fn surviving_spike_times_are_a_subset() {
+        let raster = SpikeRaster::from_trains(vec![vec![3, 7, 11, 19]], 32);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = DeletionNoise::new(0.5).unwrap().apply(&raster, &mut rng);
+        for &t in out.train(0) {
+            assert!(raster.train(0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn describe_mentions_probability() {
+        assert!(DeletionNoise::new(0.3).unwrap().describe().contains("0.3"));
+    }
+}

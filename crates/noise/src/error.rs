@@ -1,0 +1,36 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for noise-model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// A noise parameter was outside its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::InvalidParameter(msg) => write!(f, "invalid noise parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for NoiseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message() {
+        let e = NoiseError::InvalidParameter("p out of range".to_string());
+        assert!(e.to_string().contains("p out of range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NoiseError>();
+    }
+}

@@ -1,0 +1,133 @@
+//! Spike-jitter noise.
+
+use rand::{Rng, RngCore};
+
+use nrsnn_snn::{SpikeRaster, SpikeTransform};
+
+use crate::{NoiseError, Result};
+
+/// Spike-time jitter: every spike time is shifted by a zero-mean Gaussian
+/// with standard deviation `σ`, quantised to integer time steps and clamped
+/// to the window (the paper's jitter model, §III).
+///
+/// Jitter leaves the *number* of spikes unchanged but corrupts *when* they
+/// arrive, so codings that read out timing (phase, TTFS) suffer while rate
+/// coding is untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterNoise {
+    sigma: f64,
+}
+
+impl JitterNoise {
+    /// Creates a jitter model with standard deviation `sigma` (in time
+    /// steps).
+    ///
+    /// # Errors
+    /// Returns [`NoiseError::InvalidParameter`] for negative or non-finite
+    /// values.
+    pub fn new(sigma: f64) -> Result<Self> {
+        if !(sigma >= 0.0) || !sigma.is_finite() {
+            return Err(NoiseError::InvalidParameter(format!(
+                "jitter sigma must be a non-negative finite number, got {sigma}"
+            )));
+        }
+        Ok(JitterNoise { sigma })
+    }
+
+    /// The configured standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn gaussian(rng: &mut dyn RngCore) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl SpikeTransform for JitterNoise {
+    fn apply(&self, raster: &SpikeRaster, rng: &mut dyn RngCore) -> SpikeRaster {
+        if self.sigma == 0.0 {
+            return raster.clone();
+        }
+        let max_t = raster.num_steps().saturating_sub(1) as i64;
+        raster.map_trains(|_, train| {
+            train
+                .iter()
+                .map(|&t| {
+                    let shift = (Self::gaussian(rng) * self.sigma).round() as i64;
+                    (t as i64 + shift).clamp(0, max_t) as u32
+                })
+                .collect()
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!("jitter(sigma={})", self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(JitterNoise::new(-1.0).is_err());
+        assert!(JitterNoise::new(f64::NAN).is_err());
+        assert!(JitterNoise::new(f64::INFINITY).is_err());
+        assert!(JitterNoise::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let raster = SpikeRaster::from_trains(vec![vec![1, 5, 9]], 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = JitterNoise::new(0.0).unwrap().apply(&raster, &mut rng);
+        assert_eq!(out, raster);
+    }
+
+    #[test]
+    fn jitter_preserves_spike_count() {
+        let raster = SpikeRaster::from_trains(vec![(0..50).collect(), (10..30).collect()], 64);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = JitterNoise::new(3.0).unwrap().apply(&raster, &mut rng);
+        assert_eq!(out.total_spikes(), raster.total_spikes());
+    }
+
+    #[test]
+    fn jittered_times_stay_inside_window() {
+        let raster = SpikeRaster::from_trains(vec![vec![0, 1, 62, 63]], 64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = JitterNoise::new(10.0).unwrap().apply(&raster, &mut rng);
+        assert!(out.train(0).iter().all(|&t| t < 64));
+    }
+
+    #[test]
+    fn average_shift_is_roughly_zero_and_spread_grows_with_sigma() {
+        let times: Vec<u32> = vec![500; 4000];
+        let raster = SpikeRaster::from_trains(vec![times], 1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        for sigma in [1.0f64, 3.0] {
+            let out = JitterNoise::new(sigma).unwrap().apply(&raster, &mut rng);
+            let shifts: Vec<f64> = out.train(0).iter().map(|&t| t as f64 - 500.0).collect();
+            let mean = shifts.iter().sum::<f64>() / shifts.len() as f64;
+            let var =
+                shifts.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / shifts.len() as f64;
+            assert!(mean.abs() < 0.2, "sigma {sigma}: mean {mean}");
+            assert!(
+                (var.sqrt() - sigma).abs() < 0.35,
+                "sigma {sigma}: std {}",
+                var.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn describe_mentions_sigma() {
+        assert!(JitterNoise::new(2.5).unwrap().describe().contains("2.5"));
+    }
+}

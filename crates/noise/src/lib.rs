@@ -1,0 +1,61 @@
+//! # nrsnn-noise
+//!
+//! Spike-train noise models and the weight-scaling compensation from the
+//! paper.
+//!
+//! The paper models the dynamic noise of analog neuromorphic hardware as
+//! corruption of the transmitted spike trains (§II-B, §III):
+//!
+//! * **spike deletion** ([`DeletionNoise`]) — every spike is independently
+//!   dropped with probability `p`;
+//! * **spike jitter** ([`JitterNoise`]) — every spike time is shifted by a
+//!   zero-mean Gaussian with standard deviation `σ`, quantised to integer
+//!   time steps.
+//!
+//! Both implement the [`SpikeTransform`] hook of `nrsnn-snn`, so they can be
+//! injected into every layer-to-layer raster during simulation, and both can
+//! be combined with [`CompositeNoise`].
+//!
+//! [`WeightScaling`] implements the paper's first counter-measure: scaling
+//! the converted synaptic weights by `C = 1/(1-p)` so the expected
+//! post-synaptic current under deletion is restored.
+//!
+//! ## Example
+//!
+//! ```
+//! use nrsnn_noise::{DeletionNoise, WeightScaling};
+//! use nrsnn_snn::{SpikeRaster, SpikeTransform};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), nrsnn_noise::NoiseError> {
+//! let noise = DeletionNoise::new(0.5)?;
+//! let mut raster = SpikeRaster::new(1, 100);
+//! raster.set_train(0, (0..100).collect());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let corrupted = noise.apply(&raster, &mut rng);
+//! assert!(corrupted.total_spikes() < 100);
+//!
+//! let ws = WeightScaling::for_deletion_probability(0.5)?;
+//! assert!((ws.factor() - 2.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod composite;
+mod deletion;
+mod error;
+mod jitter;
+mod scaling;
+mod sweep;
+
+pub use composite::CompositeNoise;
+pub use deletion::DeletionNoise;
+pub use error::NoiseError;
+pub use jitter::JitterNoise;
+pub use scaling::WeightScaling;
+pub use sweep::{paper_deletion_probabilities, paper_jitter_intensities, paper_table_deletion_points, paper_table_jitter_points};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NoiseError>;

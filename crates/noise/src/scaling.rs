@@ -1,0 +1,146 @@
+//! Weight-scaling compensation (the paper's "WS").
+
+use nrsnn_snn::SnnNetwork;
+use serde::{Deserialize, Serialize};
+
+use crate::{NoiseError, Result};
+
+/// Uniform synaptic weight scaling `W' = C·W`.
+///
+/// Under deletion with probability `p` the expected post-synaptic current is
+/// reduced to `(1−p)·Z`; the paper compensates by choosing the scale factor
+/// proportionally to the deletion probability.  The canonical choice
+/// implemented by [`WeightScaling::for_deletion_probability`] is
+/// `C = 1/(1−p)`, which restores the expectation exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightScaling {
+    factor: f32,
+}
+
+impl WeightScaling {
+    /// No scaling (`C = 1`).
+    pub fn none() -> Self {
+        WeightScaling { factor: 1.0 }
+    }
+
+    /// An explicit scale factor.
+    ///
+    /// # Errors
+    /// Returns [`NoiseError::InvalidParameter`] for non-positive or
+    /// non-finite factors.
+    pub fn with_factor(factor: f32) -> Result<Self> {
+        if !(factor > 0.0) || !factor.is_finite() {
+            return Err(NoiseError::InvalidParameter(format!(
+                "weight scale must be positive and finite, got {factor}"
+            )));
+        }
+        Ok(WeightScaling { factor })
+    }
+
+    /// The compensation factor for a known deletion probability:
+    /// `C = 1/(1−p)`.
+    ///
+    /// # Errors
+    /// Returns [`NoiseError::InvalidParameter`] unless `0 ≤ p < 1`.
+    pub fn for_deletion_probability(p: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NoiseError::InvalidParameter(format!(
+                "deletion probability must be in [0, 1), got {p}"
+            )));
+        }
+        WeightScaling::with_factor(1.0 / (1.0 - p as f32))
+    }
+
+    /// The scale factor `C`.
+    pub fn factor(&self) -> f32 {
+        self.factor
+    }
+
+    /// Returns `true` if this scaling is a no-op.
+    pub fn is_identity(&self) -> bool {
+        (self.factor - 1.0).abs() < f32::EPSILON
+    }
+
+    /// Applies the scaling to every weighted layer of a converted network.
+    pub fn apply(&self, network: &mut SnnNetwork) {
+        if !self.is_identity() {
+            network.scale_weights(self.factor);
+        }
+    }
+}
+
+impl Default for WeightScaling {
+    fn default() -> Self {
+        WeightScaling::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrsnn_snn::SnnLayer;
+    use nrsnn_tensor::Tensor;
+
+    #[test]
+    fn factor_for_deletion_probability() {
+        assert!((WeightScaling::for_deletion_probability(0.0).unwrap().factor() - 1.0).abs() < 1e-6);
+        assert!((WeightScaling::for_deletion_probability(0.5).unwrap().factor() - 2.0).abs() < 1e-6);
+        assert!((WeightScaling::for_deletion_probability(0.8).unwrap().factor() - 5.0).abs() < 1e-4);
+        assert!(WeightScaling::for_deletion_probability(1.0).is_err());
+        assert!(WeightScaling::for_deletion_probability(-0.1).is_err());
+    }
+
+    #[test]
+    fn invalid_factors_rejected() {
+        assert!(WeightScaling::with_factor(0.0).is_err());
+        assert!(WeightScaling::with_factor(-2.0).is_err());
+        assert!(WeightScaling::with_factor(f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn none_is_identity() {
+        assert!(WeightScaling::none().is_identity());
+        assert!(WeightScaling::default().is_identity());
+        assert!(!WeightScaling::with_factor(2.0).unwrap().is_identity());
+    }
+
+    #[test]
+    fn apply_scales_network_weights() {
+        let mut network = SnnNetwork::new(vec![SnnLayer::Linear {
+            weights: Tensor::ones(&[2, 2]),
+            bias: Tensor::zeros(&[2]),
+        }])
+        .unwrap();
+        WeightScaling::with_factor(3.0).unwrap().apply(&mut network);
+        let SnnLayer::Linear { weights, .. } = &network.layers()[0] else {
+            panic!("expected linear layer");
+        };
+        assert_eq!(weights.get(&[0, 0]).unwrap(), 3.0);
+        // Bias must not be scaled: only synaptic weights compensate deletion.
+        let SnnLayer::Linear { bias, .. } = &network.layers()[0] else {
+            panic!("expected linear layer");
+        };
+        assert_eq!(bias.sum(), 0.0);
+    }
+
+    #[test]
+    fn expected_psc_is_restored() {
+        // Monte-Carlo check of the core identity: E[(C·w)·x·survive] = w·x
+        // when C = 1/(1-p).
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let p = 0.6;
+        let c = WeightScaling::for_deletion_probability(p).unwrap().factor();
+        let trials = 20_000;
+        let mut acc = 0.0f64;
+        for _ in 0..trials {
+            let survived = rng.gen::<f64>() >= p;
+            if survived {
+                acc += c as f64;
+            }
+        }
+        let mean = acc / trials as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+}

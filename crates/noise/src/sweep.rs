@@ -1,0 +1,57 @@
+//! Noise-parameter sweeps used in the paper's evaluation.
+
+/// Deletion probabilities swept in Figs. 2, 4 and 7 (0.0 to 0.9 in steps of
+/// 0.1, where 0.0 is the clean baseline).
+pub fn paper_deletion_probabilities() -> Vec<f64> {
+    (0..10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Jitter intensities swept in Figs. 3, 6 and 8 (σ from 0.5 to 4.0 in steps
+/// of 0.5, preceded by the clean baseline σ = 0).
+pub fn paper_jitter_intensities() -> Vec<f64> {
+    let mut v = vec![0.0];
+    v.extend((1..=8).map(|i| i as f64 * 0.5));
+    v
+}
+
+/// The deletion probabilities reported in Table I (clean, 0.2, 0.5, 0.8).
+pub fn paper_table_deletion_points() -> Vec<f64> {
+    vec![0.0, 0.2, 0.5, 0.8]
+}
+
+/// The jitter intensities reported in Table II (clean, 1.0, 2.0, 3.0).
+pub fn paper_table_jitter_points() -> Vec<f64> {
+    vec![0.0, 1.0, 2.0, 3.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deletion_sweep_matches_paper_grid() {
+        let p = paper_deletion_probabilities();
+        assert_eq!(p.len(), 10);
+        assert_eq!(p[0], 0.0);
+        assert!((p[9] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_sweep_matches_paper_grid() {
+        let s = paper_jitter_intensities();
+        assert_eq!(s.len(), 9);
+        assert_eq!(s[0], 0.0);
+        assert!((s[1] - 0.5).abs() < 1e-12);
+        assert!((s[8] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_points_are_subsets_of_the_sweeps() {
+        for p in paper_table_deletion_points() {
+            assert!(paper_deletion_probabilities().iter().any(|&x| (x - p).abs() < 1e-9));
+        }
+        for s in paper_table_jitter_points() {
+            assert!(paper_jitter_intensities().iter().any(|&x| (x - s).abs() < 1e-9));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Neural coding schemes.
+//!
+//! A neural coding defines how a non-negative activation value is
+//! represented as a spike train and how a downstream synapse integrates that
+//! train back into a post-synaptic-current (PSC) sum.  The paper studies
+//! four existing codings — rate, phase, burst and time-to-first-spike — and
+//! proposes time-to-average-spike (TTAS).
+//!
+//! | Coding | Spikes per value | Carrier of information | Deletion behaviour | Jitter behaviour |
+//! |---|---|---|---|---|
+//! | [`RateCoding`]  | up to `T`        | spike count              | graded `(1-p)·A` | unaffected |
+//! | [`PhaseCoding`] | up to `T`        | spike phase (binary weight) | graded        | severe (weights change ×2 per step) |
+//! | [`BurstCoding`] | up to `N_max`    | burst length / ISI       | graded           | moderate (ISI corrupted) |
+//! | [`TtfsCoding`]  | 1                | first-spike time         | all-or-none      | severe (exp. kernel shift) |
+//! | [`TtasCoding`]  | `t_a`            | average time of a phasic burst | near all-or-none, WS-friendly | averaged out |
+
+mod burst;
+mod phase;
+mod rate;
+mod ttas;
+mod ttfs;
+
+pub use burst::BurstCoding;
+pub use phase::PhaseCoding;
+pub use rate::RateCoding;
+pub use ttas::TtasCoding;
+pub use ttfs::TtfsCoding;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CodingConfig;
+
+/// A neural coding: the pair of an encoder (activation → spike train) and a
+/// decoder (spike train → PSC sum ≈ activation).
+///
+/// Implementations must satisfy `decode(encode(a)) ≈ clamp(a)` up to the
+/// coding's quantisation resolution — this round-trip property is checked by
+/// property-based tests for every coding.
+pub trait NeuralCoding: Send + Sync {
+    /// Human-readable name used in reports ("rate", "ttas(5)", …).
+    fn name(&self) -> String;
+
+    /// The coding kind tag.
+    fn kind(&self) -> CodingKind;
+
+    /// Encodes a non-negative activation into a sorted spike train within a
+    /// window of `cfg.time_steps` steps.  Values are clamped to
+    /// `[0, cfg.threshold]`.
+    fn encode(&self, activation: f32, cfg: &CodingConfig) -> Vec<u32>;
+
+    /// Integrates a spike train through the coding's PSC kernel, recovering
+    /// an activation estimate.
+    fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32;
+}
+
+/// Tag identifying a coding scheme (with its structural parameter for TTAS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodingKind {
+    /// Rate coding.
+    Rate,
+    /// Phase coding (weighted spikes).
+    Phase,
+    /// Burst coding.
+    Burst,
+    /// Time-to-first-spike coding.
+    Ttfs,
+    /// Time-to-average-spike coding with the given burst duration `t_a`.
+    Ttas(u32),
+}
+
+impl CodingKind {
+    /// The encoding threshold used by default in this reproduction.
+    ///
+    /// The paper finds its per-coding thresholds empirically (§V); we do the
+    /// same for our substitute networks and datasets.  Because the synthetic
+    /// activation distributions are far less heavy-tailed than VGG16's, the
+    /// empirical search lands at θ = 1.0 for every coding (no clipping of
+    /// the normalised activations); smaller ceilings trade accuracy for
+    /// fewer spikes, which the `ablation_threshold` bench quantifies.
+    pub fn default_threshold(&self) -> f32 {
+        1.0
+    }
+
+    /// The thresholds the paper reports for its VGG16 setting (§V):
+    /// θ = 0.4 (rate), 0.4 (burst), 1.2 (phase), 0.8 (TTFS); TTAS inherits
+    /// the TTFS value.  Kept for reference and for the threshold-sensitivity
+    /// ablation.
+    pub fn paper_threshold(&self) -> f32 {
+        match self {
+            CodingKind::Rate | CodingKind::Burst => 0.4,
+            CodingKind::Phase => 1.2,
+            CodingKind::Ttfs | CodingKind::Ttas(_) => 0.8,
+        }
+    }
+
+    /// Builds the coding with its default structural parameters.
+    pub fn build(&self) -> Box<dyn NeuralCoding> {
+        match self {
+            CodingKind::Rate => Box::new(RateCoding::new()),
+            CodingKind::Phase => Box::new(PhaseCoding::new()),
+            CodingKind::Burst => Box::new(BurstCoding::new()),
+            CodingKind::Ttfs => Box::new(TtfsCoding::new()),
+            CodingKind::Ttas(duration) => Box::new(TtasCoding::new(*duration)),
+        }
+    }
+
+    /// Short label for tables and figures.
+    pub fn label(&self) -> String {
+        match self {
+            CodingKind::Rate => "Rate".to_string(),
+            CodingKind::Phase => "Phase".to_string(),
+            CodingKind::Burst => "Burst".to_string(),
+            CodingKind::Ttfs => "TTFS".to_string(),
+            CodingKind::Ttas(d) => format!("TTAS({d})"),
+        }
+    }
+
+    /// All codings compared in the paper's Figs. 2–3 (the four baselines).
+    pub fn baselines() -> Vec<CodingKind> {
+        vec![
+            CodingKind::Rate,
+            CodingKind::Phase,
+            CodingKind::Burst,
+            CodingKind::Ttfs,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thresholds_match_section_v() {
+        assert_eq!(CodingKind::Rate.paper_threshold(), 0.4);
+        assert_eq!(CodingKind::Burst.paper_threshold(), 0.4);
+        assert_eq!(CodingKind::Phase.paper_threshold(), 1.2);
+        assert_eq!(CodingKind::Ttfs.paper_threshold(), 0.8);
+        assert_eq!(CodingKind::Ttas(5).paper_threshold(), 0.8);
+    }
+
+    #[test]
+    fn default_thresholds_avoid_clipping() {
+        for kind in CodingKind::baselines() {
+            assert_eq!(kind.default_threshold(), 1.0);
+        }
+        assert_eq!(CodingKind::Ttas(5).default_threshold(), 1.0);
+    }
+
+    #[test]
+    fn build_produces_matching_kind() {
+        for kind in [
+            CodingKind::Rate,
+            CodingKind::Phase,
+            CodingKind::Burst,
+            CodingKind::Ttfs,
+            CodingKind::Ttas(3),
+        ] {
+            assert_eq!(kind.build().kind(), kind);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            CodingKind::Rate,
+            CodingKind::Phase,
+            CodingKind::Burst,
+            CodingKind::Ttfs,
+            CodingKind::Ttas(5),
+            CodingKind::Ttas(10),
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn baselines_exclude_ttas() {
+        let b = CodingKind::baselines();
+        assert_eq!(b.len(), 4);
+        assert!(!b.iter().any(|k| matches!(k, CodingKind::Ttas(_))));
+    }
+
+    /// All codings should round-trip a mid-range value reasonably well.
+    #[test]
+    fn all_codings_round_trip_mid_value() {
+        let cfg = CodingConfig::new(128, 1.0);
+        for kind in [
+            CodingKind::Rate,
+            CodingKind::Phase,
+            CodingKind::Burst,
+            CodingKind::Ttfs,
+            CodingKind::Ttas(5),
+        ] {
+            let coding = kind.build();
+            let spikes = coding.encode(0.5, &cfg);
+            let decoded = coding.decode(&spikes, &cfg);
+            assert!(
+                (decoded - 0.5).abs() < 0.12,
+                "{}: decoded {decoded} for 0.5",
+                coding.name()
+            );
+        }
+    }
+
+    /// Zero activation must produce no spikes under every coding.
+    #[test]
+    fn zero_activation_is_silent() {
+        let cfg = CodingConfig::new(64, 1.0);
+        for kind in [
+            CodingKind::Rate,
+            CodingKind::Phase,
+            CodingKind::Burst,
+            CodingKind::Ttfs,
+            CodingKind::Ttas(4),
+        ] {
+            let coding = kind.build();
+            assert!(coding.encode(0.0, &cfg).is_empty(), "{}", coding.name());
+            assert_eq!(coding.decode(&[], &cfg), 0.0);
+        }
+    }
+
+    /// Spike-count ordering from the paper: TTFS ≤ TTAS ≪ burst ≤ rate/phase.
+    #[test]
+    fn spike_count_ordering_matches_paper() {
+        let cfg = CodingConfig::new(128, 1.0);
+        let value = 0.9;
+        let rate = CodingKind::Rate.build().encode(value, &cfg).len();
+        let phase = CodingKind::Phase.build().encode(value, &cfg).len();
+        let burst = CodingKind::Burst.build().encode(value, &cfg).len();
+        let ttfs = CodingKind::Ttfs.build().encode(value, &cfg).len();
+        let ttas = CodingKind::Ttas(5).build().encode(value, &cfg).len();
+        assert_eq!(ttfs, 1);
+        assert!(ttas <= 5 && ttas >= 1);
+        assert!(burst <= 8);
+        assert!(rate > burst, "rate {rate} burst {burst}");
+        assert!(phase > burst);
+    }
+}

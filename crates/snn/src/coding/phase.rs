@@ -1,0 +1,168 @@
+//! Phase coding (weighted spikes).
+
+use crate::{CodingConfig, CodingKind, NeuralCoding};
+
+/// Phase coding after Kim et al. ("Deep neural networks with weighted
+/// spikes"): time is divided into periods of `period` steps driven by a
+/// global oscillator, and a spike in phase `k` of a period carries the
+/// binary weight `2^-(k+1)`.
+///
+/// An activation is encoded as its fixed-point binary expansion: the same
+/// phase pattern is repeated in every period of the window, and the decoder
+/// averages over periods.  Because the synaptic weight of a spike depends on
+/// its phase, a one-step jitter changes the contribution of a spike by a
+/// factor of two — phase coding is therefore efficient but fragile to jitter
+/// (Fig. 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseCoding {
+    period: u32,
+}
+
+impl PhaseCoding {
+    /// Creates a phase coding with the canonical period of 8 phases.
+    pub fn new() -> Self {
+        PhaseCoding { period: 8 }
+    }
+
+    /// Creates a phase coding with a custom period (number of phases).
+    pub fn with_period(period: u32) -> Self {
+        PhaseCoding {
+            period: period.max(1),
+        }
+    }
+
+    /// The number of phases per period.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Weight of a spike at absolute time `t`.
+    fn phase_weight(&self, t: u32) -> f32 {
+        let phase = t % self.period;
+        0.5f32.powi(phase as i32 + 1)
+    }
+
+    fn num_periods(&self, cfg: &CodingConfig) -> u32 {
+        (cfg.time_steps / self.period).max(1)
+    }
+}
+
+impl Default for PhaseCoding {
+    fn default() -> Self {
+        PhaseCoding::new()
+    }
+}
+
+impl NeuralCoding for PhaseCoding {
+    fn name(&self) -> String {
+        "phase".to_string()
+    }
+
+    fn kind(&self) -> CodingKind {
+        CodingKind::Phase
+    }
+
+    fn encode(&self, activation: f32, cfg: &CodingConfig) -> Vec<u32> {
+        let v = cfg.clamp(activation) / cfg.threshold;
+        if v <= 0.0 {
+            return Vec::new();
+        }
+        // Greedy binary expansion v ≈ Σ b_k 2^-(k+1).
+        let mut bits = vec![false; self.period as usize];
+        let mut rem = v;
+        for (k, bit) in bits.iter_mut().enumerate() {
+            let w = 0.5f32.powi(k as i32 + 1);
+            if rem >= w - 1e-6 {
+                *bit = true;
+                rem -= w;
+            }
+        }
+        let periods = self.num_periods(cfg);
+        let mut spikes = Vec::new();
+        for p in 0..periods {
+            for (k, &bit) in bits.iter().enumerate() {
+                if bit {
+                    let t = p * self.period + k as u32;
+                    if t < cfg.time_steps {
+                        spikes.push(t);
+                    }
+                }
+            }
+        }
+        spikes
+    }
+
+    fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32 {
+        let periods = self.num_periods(cfg) as f32;
+        let sum: f32 = train.iter().map(|&t| self.phase_weight(t)).sum();
+        cfg.threshold * sum / periods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_within_quantisation() {
+        let cfg = CodingConfig::new(128, 1.0);
+        let coding = PhaseCoding::new();
+        for v in [0.1, 0.3, 0.5, 0.75, 0.99] {
+            let decoded = coding.decode(&coding.encode(v, &cfg), &cfg);
+            // 8-bit expansion: resolution 1/256.
+            assert!((decoded - v).abs() < 0.01, "v {v} decoded {decoded}");
+        }
+    }
+
+    #[test]
+    fn half_is_a_single_spike_per_period() {
+        let cfg = CodingConfig::new(16, 1.0);
+        let coding = PhaseCoding::new();
+        let spikes = coding.encode(0.5, &cfg);
+        // 0.5 = MSB only; two periods of 8 in a 16-step window.
+        assert_eq!(spikes, vec![0, 8]);
+    }
+
+    #[test]
+    fn one_step_jitter_changes_decoded_value_substantially() {
+        let cfg = CodingConfig::new(8, 1.0);
+        let coding = PhaseCoding::new();
+        let spikes = coding.encode(0.5, &cfg); // spike at phase 0
+        let jittered: Vec<u32> = spikes.iter().map(|&t| t + 1).collect();
+        let clean = coding.decode(&spikes, &cfg);
+        let noisy = coding.decode(&jittered, &cfg);
+        // Weight halves: 0.5 -> 0.25.
+        assert!((clean - 0.5).abs() < 1e-5);
+        assert!((noisy - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deletion_is_graded() {
+        let cfg = CodingConfig::new(64, 1.0);
+        let coding = PhaseCoding::new();
+        let spikes = coding.encode(0.9, &cfg);
+        // Remove one period's worth of spikes: value drops by ~1/num_periods.
+        let kept: Vec<u32> = spikes.iter().copied().filter(|&t| t >= 8).collect();
+        let decoded = coding.decode(&kept, &cfg);
+        let expected = 0.9 * 7.0 / 8.0;
+        assert!((decoded - expected).abs() < 0.02, "decoded {decoded}");
+    }
+
+    #[test]
+    fn custom_period_is_respected() {
+        let coding = PhaseCoding::with_period(4);
+        assert_eq!(coding.period(), 4);
+        let cfg = CodingConfig::new(16, 1.0);
+        let spikes = coding.encode(0.5, &cfg);
+        assert_eq!(spikes.len(), 4); // one MSB spike per 4-step period
+    }
+
+    #[test]
+    fn clipping_at_threshold() {
+        let cfg = CodingConfig::new(64, 1.2);
+        let coding = PhaseCoding::new();
+        let decoded = coding.decode(&coding.encode(5.0, &cfg), &cfg);
+        assert!(decoded <= 1.2 + 1e-5);
+        assert!(decoded > 1.1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Rate coding.
+
+use crate::{CodingConfig, CodingKind, NeuralCoding};
+
+/// Rate coding: an activation `a ∈ [0, θ]` is represented by
+/// `n = round(a/θ · T)` spikes spread evenly over the window, and decoded as
+/// `n·θ/T`.
+///
+/// The PSC kernel is constant, so the decoded value depends only on *how
+/// many* spikes arrive, never on *when* — which is why rate coding is
+/// insensitive to jitter but pays for it with the largest spike counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RateCoding;
+
+impl RateCoding {
+    /// Creates a rate coding.
+    pub fn new() -> Self {
+        RateCoding
+    }
+}
+
+impl NeuralCoding for RateCoding {
+    fn name(&self) -> String {
+        "rate".to_string()
+    }
+
+    fn kind(&self) -> CodingKind {
+        CodingKind::Rate
+    }
+
+    fn encode(&self, activation: f32, cfg: &CodingConfig) -> Vec<u32> {
+        let t = cfg.time_steps;
+        let v = cfg.clamp(activation);
+        let n = ((v / cfg.threshold) * t as f32).round() as u32;
+        let n = n.min(t);
+        if n == 0 {
+            return Vec::new();
+        }
+        // Spread the n spikes evenly over the window.
+        (0..n).map(|k| (k as u64 * t as u64 / n as u64) as u32).collect()
+    }
+
+    fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32 {
+        train.len() as f32 * cfg.threshold / cfg.time_steps as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_values() {
+        let cfg = CodingConfig::new(100, 1.0);
+        let coding = RateCoding::new();
+        for v in [0.0, 0.1, 0.25, 0.5, 0.73, 1.0] {
+            let decoded = coding.decode(&coding.encode(v, &cfg), &cfg);
+            assert!((decoded - v).abs() <= 0.01, "v {v} decoded {decoded}");
+        }
+    }
+
+    #[test]
+    fn values_above_threshold_are_clipped() {
+        let cfg = CodingConfig::new(100, 0.4);
+        let coding = RateCoding::new();
+        let decoded = coding.decode(&coding.encode(0.9, &cfg), &cfg);
+        assert!((decoded - 0.4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spike_count_is_proportional_to_value() {
+        let cfg = CodingConfig::new(200, 1.0);
+        let coding = RateCoding::new();
+        assert_eq!(coding.encode(0.5, &cfg).len(), 100);
+        assert_eq!(coding.encode(1.0, &cfg).len(), 200);
+        assert_eq!(coding.encode(0.0, &cfg).len(), 0);
+    }
+
+    #[test]
+    fn spikes_are_within_window_and_unique() {
+        let cfg = CodingConfig::new(64, 1.0);
+        let coding = RateCoding::new();
+        let spikes = coding.encode(0.8, &cfg);
+        assert!(spikes.iter().all(|&t| t < 64));
+        let mut dedup = spikes.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), spikes.len());
+    }
+
+    #[test]
+    fn decode_ignores_spike_timing() {
+        // Shifting all spikes must not change the decoded value: this is the
+        // mechanism behind rate coding's jitter robustness (Fig. 3).
+        let cfg = CodingConfig::new(100, 1.0);
+        let coding = RateCoding::new();
+        let spikes = coding.encode(0.4, &cfg);
+        let shifted: Vec<u32> = spikes.iter().map(|&t| (t + 7).min(99)).collect();
+        assert_eq!(coding.decode(&spikes, &cfg), coding.decode(&shifted, &cfg));
+    }
+
+    #[test]
+    fn deleting_half_the_spikes_halves_the_value() {
+        let cfg = CodingConfig::new(100, 1.0);
+        let coding = RateCoding::new();
+        let spikes = coding.encode(0.8, &cfg);
+        let kept: Vec<u32> = spikes.iter().step_by(2).copied().collect();
+        let decoded = coding.decode(&kept, &cfg);
+        assert!((decoded - 0.4).abs() < 0.02);
+    }
+
+    #[test]
+    fn negative_activation_is_silent() {
+        let cfg = CodingConfig::new(100, 1.0);
+        assert!(RateCoding::new().encode(-0.3, &cfg).is_empty());
+    }
+}

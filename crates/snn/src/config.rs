@@ -1,0 +1,115 @@
+//! Shared coding/simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SnnError};
+
+/// Parameters shared by all neural codings.
+///
+/// * `time_steps` — length `T` of the per-layer time window;
+/// * `threshold` — the empirical encoding ceiling θ (the paper's per-coding
+///   threshold from its §V threshold search): activations are clamped to
+///   `[0, θ]` before encoding and the coding's full resolution is spent on
+///   that range.  Smaller θ trades clipping of rare large activations for
+///   finer resolution, exactly the trade-off of empirical threshold
+///   balancing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodingConfig {
+    /// Number of simulation time steps per layer window.
+    pub time_steps: u32,
+    /// Encoding ceiling θ (must be positive).
+    pub threshold: f32,
+    /// Time constant of the exponentially decaying PSC kernel used by TTFS
+    /// and TTAS, expressed as a fraction of `time_steps`.  The default of
+    /// `0.05` keeps the kernel steep (as in T2FSNN's per-layer phases): a
+    /// one-step shift changes the carried value by ≈ `exp(1/τ)` ≈ 17 % for a
+    /// 128-step window, which is what makes TTFS fragile to jitter while the
+    /// dynamic range over the window stays far larger than needed.
+    pub ttfs_tau_fraction: f32,
+}
+
+impl CodingConfig {
+    /// Creates a configuration with the default TTFS kernel time constant.
+    pub fn new(time_steps: u32, threshold: f32) -> Self {
+        CodingConfig {
+            time_steps,
+            threshold,
+            ttfs_tau_fraction: 0.05,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InvalidConfig`] for non-positive values.
+    pub fn validate(&self) -> Result<()> {
+        if self.time_steps == 0 {
+            return Err(SnnError::InvalidConfig("time_steps must be non-zero".to_string()));
+        }
+        if !(self.threshold > 0.0) {
+            return Err(SnnError::InvalidConfig(format!(
+                "threshold must be positive, got {}",
+                self.threshold
+            )));
+        }
+        if !(self.ttfs_tau_fraction > 0.0) {
+            return Err(SnnError::InvalidConfig(format!(
+                "ttfs_tau_fraction must be positive, got {}",
+                self.ttfs_tau_fraction
+            )));
+        }
+        Ok(())
+    }
+
+    /// The TTFS/TTAS kernel time constant in time steps.
+    pub fn ttfs_tau(&self) -> f32 {
+        (self.time_steps as f32 * self.ttfs_tau_fraction).max(1.0)
+    }
+
+    /// Clamps an activation to the representable range `[0, θ]`.
+    pub fn clamp(&self, activation: f32) -> f32 {
+        activation.clamp(0.0, self.threshold)
+    }
+}
+
+impl Default for CodingConfig {
+    fn default() -> Self {
+        CodingConfig::new(128, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(CodingConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CodingConfig::new(0, 1.0).validate().is_err());
+        assert!(CodingConfig::new(10, 0.0).validate().is_err());
+        assert!(CodingConfig::new(10, -1.0).validate().is_err());
+        let mut c = CodingConfig::new(10, 1.0);
+        c.ttfs_tau_fraction = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn clamp_limits_to_threshold() {
+        let cfg = CodingConfig::new(100, 0.4);
+        assert_eq!(cfg.clamp(0.2), 0.2);
+        assert_eq!(cfg.clamp(0.9), 0.4);
+        assert_eq!(cfg.clamp(-0.5), 0.0);
+    }
+
+    #[test]
+    fn tau_scales_with_window() {
+        let short = CodingConfig::new(50, 1.0);
+        let long = CodingConfig::new(500, 1.0);
+        assert!(long.ttfs_tau() > short.ttfs_tau());
+        assert!(short.ttfs_tau() >= 1.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! DNN-to-SNN conversion with data-based threshold balancing.
+//!
+//! The paper (like its references [1], [3], [5], [21], [22]) obtains deep
+//! SNNs by converting pre-trained DNNs: the ReLU activations of the source
+//! network map onto firing rates / spike times, and each layer's weights are
+//! rescaled so the normalised activations fall into the representable range
+//! of the coding.  We use the standard data-based scheme: the activation
+//! scale of a layer is a high percentile (default 99.9 %) of its post-ReLU
+//! activations over a probe set, and the weights are renormalised by the
+//! ratio of consecutive layer scales.
+
+use nrsnn_dnn::{LayerDescriptor, Sequential};
+use nrsnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SnnError, SnnLayer, SnnNetwork};
+
+/// Computes per-layer activation scales from a probe set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdBalancer {
+    percentile: f32,
+}
+
+impl ThresholdBalancer {
+    /// Creates a balancer using the given activation percentile (e.g. 99.9).
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InvalidConfig`] if the percentile is outside
+    /// `(0, 100]`.
+    pub fn new(percentile: f32) -> Result<Self> {
+        if !(percentile > 0.0 && percentile <= 100.0) {
+            return Err(SnnError::InvalidConfig(format!(
+                "percentile must be in (0, 100], got {percentile}"
+            )));
+        }
+        Ok(ThresholdBalancer { percentile })
+    }
+
+    /// The default 99.9-percentile balancer used throughout the paper's
+    /// conversion pipeline.
+    pub fn default_percentile() -> Self {
+        ThresholdBalancer { percentile: 99.9 }
+    }
+
+    /// The configured percentile.
+    pub fn percentile(&self) -> f32 {
+        self.percentile
+    }
+
+    /// Computes one activation scale per descriptor-bearing layer of `dnn`
+    /// by running the probe inputs through the network.
+    ///
+    /// # Errors
+    /// Propagates DNN forward-pass errors.
+    pub fn scales(&self, dnn: &mut Sequential, probe: &Tensor) -> Result<Vec<f32>> {
+        dnn.activation_percentiles(probe, self.percentile)
+            .map_err(|e| SnnError::Conversion(format!("activation statistics failed: {e}")))
+    }
+}
+
+/// Options of the DNN-to-SNN conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConversionConfig {
+    /// Uniform weight-scaling factor `C` applied to every converted weight
+    /// (the paper's WS compensation; `1.0` disables it).
+    pub weight_scale: f32,
+}
+
+impl Default for ConversionConfig {
+    fn default() -> Self {
+        ConversionConfig { weight_scale: 1.0 }
+    }
+}
+
+/// Converts trained-DNN layer descriptors into a spiking network.
+///
+/// `activation_scales` must contain one entry per descriptor (as produced by
+/// [`ThresholdBalancer::scales`]); entries for parameter-free layers
+/// (average pooling) are ignored.
+///
+/// # Errors
+/// Returns [`SnnError::Conversion`] if the scale count does not match or a
+/// scale is non-positive.
+pub fn convert(
+    descriptors: &[LayerDescriptor],
+    activation_scales: &[f32],
+    config: &ConversionConfig,
+) -> Result<SnnNetwork> {
+    if descriptors.is_empty() {
+        return Err(SnnError::Conversion("no layers to convert".to_string()));
+    }
+    if descriptors.len() != activation_scales.len() {
+        return Err(SnnError::Conversion(format!(
+            "{} descriptors but {} activation scales",
+            descriptors.len(),
+            activation_scales.len()
+        )));
+    }
+    let mut layers = Vec::with_capacity(descriptors.len());
+    // Input pixels are already normalised to [0, 1].
+    let mut prev_scale = 1.0f32;
+    for (descriptor, &scale) in descriptors.iter().zip(activation_scales) {
+        match descriptor {
+            LayerDescriptor::Linear { weights, bias } => {
+                if scale <= 0.0 {
+                    return Err(SnnError::Conversion(format!(
+                        "non-positive activation scale {scale}"
+                    )));
+                }
+                let factor = prev_scale / scale * config.weight_scale;
+                layers.push(SnnLayer::Linear {
+                    weights: weights.scale(factor),
+                    bias: bias.scale(1.0 / scale),
+                });
+                prev_scale = scale;
+            }
+            LayerDescriptor::Conv {
+                weights,
+                bias,
+                geometry,
+            } => {
+                if scale <= 0.0 {
+                    return Err(SnnError::Conversion(format!(
+                        "non-positive activation scale {scale}"
+                    )));
+                }
+                let factor = prev_scale / scale * config.weight_scale;
+                layers.push(SnnLayer::Conv {
+                    weights: weights.scale(factor),
+                    bias: bias.scale(1.0 / scale),
+                    geometry: *geometry,
+                });
+                prev_scale = scale;
+            }
+            LayerDescriptor::AvgPool { geometry } => {
+                layers.push(SnnLayer::AvgPool {
+                    geometry: *geometry,
+                });
+                // Pooling does not change the activation scale.
+            }
+        }
+    }
+    SnnNetwork::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrsnn_dnn::{Dense, Mode, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dnn() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = Sequential::new();
+        net.push(Dense::new(&mut rng, 4, 6).unwrap());
+        net.push(Relu::new());
+        net.push(Dense::new(&mut rng, 6, 3).unwrap());
+        net
+    }
+
+    #[test]
+    fn balancer_validates_percentile() {
+        assert!(ThresholdBalancer::new(0.0).is_err());
+        assert!(ThresholdBalancer::new(150.0).is_err());
+        assert!(ThresholdBalancer::new(99.9).is_ok());
+        assert_eq!(ThresholdBalancer::default_percentile().percentile(), 99.9);
+    }
+
+    #[test]
+    fn scales_have_one_entry_per_descriptor() {
+        let mut dnn = toy_dnn();
+        let probe = Tensor::ones(&[8, 4]);
+        let balancer = ThresholdBalancer::default_percentile();
+        let scales = balancer.scales(&mut dnn, &probe).unwrap();
+        assert_eq!(scales.len(), dnn.descriptors().len());
+        assert!(scales.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn convert_produces_matching_layer_count() {
+        let mut dnn = toy_dnn();
+        let probe = Tensor::ones(&[8, 4]);
+        let scales = ThresholdBalancer::default_percentile()
+            .scales(&mut dnn, &probe)
+            .unwrap();
+        let snn = convert(&dnn.descriptors(), &scales, &ConversionConfig::default()).unwrap();
+        assert_eq!(snn.num_layers(), 2);
+        assert_eq!(snn.input_width(), 4);
+        assert_eq!(snn.output_width(), 3);
+    }
+
+    #[test]
+    fn convert_rejects_mismatched_scales() {
+        let dnn_descriptors = toy_dnn().descriptors();
+        assert!(convert(&dnn_descriptors, &[1.0], &ConversionConfig::default()).is_err());
+        assert!(convert(&dnn_descriptors, &[1.0, 0.0], &ConversionConfig::default()).is_err());
+        assert!(convert(&[], &[], &ConversionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn normalised_activations_are_bounded_by_one() {
+        // After conversion, analog propagation of the probe set through the
+        // normalised weights should produce activations mostly within [0, 1].
+        let mut dnn = toy_dnn();
+        let mut rng = StdRng::seed_from_u64(4);
+        let probe = nrsnn_tensor::uniform(&mut rng, &[16, 4], 0.0, 1.0);
+        let scales = ThresholdBalancer::new(100.0)
+            .unwrap()
+            .scales(&mut dnn, &probe)
+            .unwrap();
+        let snn = convert(&dnn.descriptors(), &scales, &ConversionConfig::default()).unwrap();
+        for i in 0..16 {
+            let row = probe.row(i).unwrap();
+            let hidden = snn.analog_forward_layer(0, row.as_slice()).unwrap();
+            assert!(
+                hidden.iter().all(|&v| v <= 1.0 + 1e-3),
+                "activation above normalised ceiling: {hidden:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_scale_multiplies_weights() {
+        let mut dnn = toy_dnn();
+        let probe = Tensor::ones(&[4, 4]);
+        let scales = ThresholdBalancer::default_percentile()
+            .scales(&mut dnn, &probe)
+            .unwrap();
+        let plain = convert(&dnn.descriptors(), &scales, &ConversionConfig::default()).unwrap();
+        let scaled = convert(
+            &dnn.descriptors(),
+            &scales,
+            &ConversionConfig { weight_scale: 2.0 },
+        )
+        .unwrap();
+        let (SnnLayer::Linear { weights: w0, .. }, SnnLayer::Linear { weights: w1, .. }) =
+            (&plain.layers()[0], &scaled.layers()[0])
+        else {
+            panic!("expected linear layers");
+        };
+        for (a, b) in w0.as_slice().iter().zip(w1.as_slice()) {
+            assert!((b - 2.0 * a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conversion_preserves_dnn_predictions_in_analog_mode() {
+        // With 100th-percentile normalisation and no clipping the converted
+        // network is an exact rescaling of the DNN, so analog propagation
+        // must produce the same argmax.
+        let mut dnn = toy_dnn();
+        let mut rng = StdRng::seed_from_u64(12);
+        let probe = nrsnn_tensor::uniform(&mut rng, &[32, 4], 0.0, 1.0);
+        let scales = ThresholdBalancer::new(100.0)
+            .unwrap()
+            .scales(&mut dnn, &probe)
+            .unwrap();
+        let snn = convert(&dnn.descriptors(), &scales, &ConversionConfig::default()).unwrap();
+        for i in 0..8 {
+            let row = probe.row(i).unwrap();
+            let dnn_logits = dnn.forward(&row.reshape(&[1, 4]).unwrap(), Mode::Infer).unwrap();
+            let snn_logits = snn.analog_forward(row.as_slice()).unwrap();
+            let dnn_pred = dnn_logits.argmax();
+            let snn_pred = snn_logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(dnn_pred, snn_pred, "sample {i}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+use nrsnn_tensor::TensorError;
+
+/// Error type for SNN construction, conversion and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnnError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A configuration value was invalid (zero time steps, threshold ≤ 0, …).
+    InvalidConfig(String),
+    /// The network to convert had an unsupported or inconsistent structure.
+    Conversion(String),
+    /// Simulation input did not match the network input width.
+    InputMismatch {
+        /// Width the network expects.
+        expected: usize,
+        /// Width that was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            SnnError::InvalidConfig(msg) => write!(f, "invalid SNN configuration: {msg}"),
+            SnnError::Conversion(msg) => write!(f, "conversion error: {msg}"),
+            SnnError::InputMismatch { expected, actual } => {
+                write!(f, "network expects input width {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for SnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SnnError {
+    fn from(e: TensorError) -> Self {
+        SnnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SnnError::InputMismatch {
+            expected: 10,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SnnError>();
+    }
+}

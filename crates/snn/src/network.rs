@@ -1,0 +1,566 @@
+//! Converted spiking networks and their clock-driven simulation.
+
+use nrsnn_tensor::{im2col, matvec, transpose, Conv2dGeometry, Pool2dGeometry, Tensor};
+use rand::RngCore;
+
+use crate::{CodingConfig, NeuralCoding, Result, SnnError, SpikeRaster};
+
+/// One layer of a converted spiking network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnnLayer {
+    /// Fully connected layer with normalised weights `(out x in)` and bias.
+    Linear {
+        /// Normalised weight matrix.
+        weights: Tensor,
+        /// Normalised bias vector.
+        bias: Tensor,
+    },
+    /// Convolution layer with flattened kernel bank `(out_ch x patch)`.
+    Conv {
+        /// Normalised, flattened kernel bank.
+        weights: Tensor,
+        /// Normalised bias vector.
+        bias: Tensor,
+        /// Convolution geometry.
+        geometry: Conv2dGeometry,
+    },
+    /// Average pooling (parameter-free).
+    AvgPool {
+        /// Pooling geometry.
+        geometry: Pool2dGeometry,
+    },
+}
+
+impl SnnLayer {
+    /// Input width of the layer.
+    pub fn input_width(&self) -> usize {
+        match self {
+            SnnLayer::Linear { weights, .. } => weights.dims()[1],
+            SnnLayer::Conv { geometry, .. } => geometry.in_len(),
+            SnnLayer::AvgPool { geometry } => geometry.in_len(),
+        }
+    }
+
+    /// Output width of the layer.
+    pub fn output_width(&self) -> usize {
+        match self {
+            SnnLayer::Linear { weights, .. } => weights.dims()[0],
+            SnnLayer::Conv { weights, geometry, .. } => {
+                weights.dims()[0] * geometry.out_positions()
+            }
+            SnnLayer::AvgPool { geometry } => geometry.out_len(),
+        }
+    }
+
+    /// Returns `true` if the layer carries synaptic weights.
+    pub fn has_weights(&self) -> bool {
+        !matches!(self, SnnLayer::AvgPool { .. })
+    }
+
+    /// Multiplies the layer's synaptic weights by `factor` (weight scaling).
+    pub fn scale_weights(&mut self, factor: f32) {
+        match self {
+            SnnLayer::Linear { weights, .. } | SnnLayer::Conv { weights, .. } => {
+                *weights = weights.scale(factor);
+            }
+            SnnLayer::AvgPool { .. } => {}
+        }
+    }
+
+    /// Analog forward pass of this layer on a dense activation vector, with
+    /// ReLU left to the caller.
+    fn forward_analog(&self, input: &[f32]) -> Result<Vec<f32>> {
+        match self {
+            SnnLayer::Linear { weights, bias } => {
+                let x = Tensor::from_slice(input);
+                let mut out = matvec(weights, &x)?;
+                out.add_scaled_inplace(&Tensor::from_slice(bias.as_slice()), 1.0)?;
+                Ok(out.into_vec())
+            }
+            SnnLayer::Conv {
+                weights,
+                bias,
+                geometry,
+            } => {
+                let x = Tensor::from_slice(input);
+                let cols = im2col(&x, geometry)?;
+                let wt = transpose(weights)?;
+                let prod = cols.matmul(&wt)?; // (positions x out_ch)
+                let positions = geometry.out_positions();
+                let out_ch = weights.dims()[0];
+                let pv = prod.as_slice();
+                let bv = bias.as_slice();
+                let mut out = vec![0.0f32; out_ch * positions];
+                for c in 0..out_ch {
+                    for p in 0..positions {
+                        out[c * positions + p] = pv[p * out_ch + c] + bv[c];
+                    }
+                }
+                Ok(out)
+            }
+            SnnLayer::AvgPool { geometry } => {
+                let g = geometry;
+                let (oh, ow) = (g.out_height(), g.out_width());
+                let mut out = vec![0.0f32; g.out_len()];
+                let area = (g.window * g.window) as f32;
+                for c in 0..g.channels {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = 0.0;
+                            for ky in 0..g.window {
+                                for kx in 0..g.window {
+                                    let iy = oy * g.stride + ky;
+                                    let ix = ox * g.stride + kx;
+                                    acc += input[c * g.in_height * g.in_width + iy * g.in_width + ix];
+                                }
+                            }
+                            out[c * oh * ow + oy * ow + ox] = acc / area;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// A transformation applied to every layer-to-layer spike raster during
+/// simulation.
+///
+/// `nrsnn-noise` implements spike deletion and jitter on top of this hook;
+/// [`IdentityTransform`] is the noise-free baseline.
+pub trait SpikeTransform {
+    /// Produces the (possibly corrupted) raster actually received by the
+    /// next layer.
+    fn apply(&self, raster: &SpikeRaster, rng: &mut dyn RngCore) -> SpikeRaster;
+
+    /// Short description used in reports.
+    fn describe(&self) -> String {
+        "unnamed transform".to_string()
+    }
+}
+
+/// The no-noise transform: spikes pass through unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityTransform;
+
+impl SpikeTransform for IdentityTransform {
+    fn apply(&self, raster: &SpikeRaster, _rng: &mut dyn RngCore) -> SpikeRaster {
+        raster.clone()
+    }
+
+    fn describe(&self) -> String {
+        "clean".to_string()
+    }
+}
+
+/// Everything measured during one simulated inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationOutcome {
+    /// Output-layer activations (analog read-out of the last layer).
+    pub logits: Vec<f32>,
+    /// Index of the winning output neuron.
+    pub predicted: usize,
+    /// Total number of spikes transmitted across all layers (after noise).
+    pub total_spikes: usize,
+    /// Number of transmitted spikes per raster (input raster first).
+    pub spikes_per_layer: Vec<usize>,
+}
+
+/// A converted spiking network: a chain of [`SnnLayer`]s simulated layer by
+/// layer under a chosen neural coding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnnNetwork {
+    layers: Vec<SnnLayer>,
+}
+
+impl SnnNetwork {
+    /// Creates a network after validating that consecutive layer widths
+    /// match.
+    ///
+    /// # Errors
+    /// Returns [`SnnError::Conversion`] for an empty chain or mismatched
+    /// widths.
+    pub fn new(layers: Vec<SnnLayer>) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(SnnError::Conversion("network needs at least one layer".to_string()));
+        }
+        for pair in layers.windows(2) {
+            if pair[0].output_width() != pair[1].input_width() {
+                return Err(SnnError::Conversion(format!(
+                    "layer width mismatch: {} feeds {}",
+                    pair[0].output_width(),
+                    pair[1].input_width()
+                )));
+            }
+        }
+        Ok(SnnNetwork { layers })
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[SnnLayer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input width expected by the first layer.
+    pub fn input_width(&self) -> usize {
+        self.layers[0].input_width()
+    }
+
+    /// Output width produced by the last layer.
+    pub fn output_width(&self) -> usize {
+        self.layers[self.layers.len() - 1].output_width()
+    }
+
+    /// Multiplies every synaptic weight by `factor` (the paper's weight
+    /// scaling compensation, applied after conversion).
+    pub fn scale_weights(&mut self, factor: f32) {
+        for layer in &mut self.layers {
+            layer.scale_weights(factor);
+        }
+    }
+
+    /// Analog (non-spiking) forward pass of layer `index` — used by tests
+    /// and by the conversion sanity checks.
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InputMismatch`] for a wrong input width.
+    pub fn analog_forward_layer(&self, index: usize, input: &[f32]) -> Result<Vec<f32>> {
+        let layer = &self.layers[index];
+        if input.len() != layer.input_width() {
+            return Err(SnnError::InputMismatch {
+                expected: layer.input_width(),
+                actual: input.len(),
+            });
+        }
+        let mut out = layer.forward_analog(input)?;
+        if index + 1 < self.layers.len() {
+            for v in &mut out {
+                *v = v.max(0.0);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full analog forward pass (the converted network run as a plain ReLU
+    /// network) — the reference against which spiking accuracy is compared.
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InputMismatch`] for a wrong input width.
+    pub fn analog_forward(&self, input: &[f32]) -> Result<Vec<f32>> {
+        let mut x = input.to_vec();
+        for i in 0..self.layers.len() {
+            x = self.analog_forward_layer(i, &x)?;
+        }
+        Ok(x)
+    }
+
+    /// Simulates one inference under `coding`, injecting `noise` into every
+    /// transmitted spike raster (including the input raster).
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InputMismatch`] if the input width is wrong or
+    /// configuration errors from `cfg`.
+    pub fn simulate(
+        &self,
+        input: &[f32],
+        coding: &dyn NeuralCoding,
+        cfg: &CodingConfig,
+        noise: &dyn SpikeTransform,
+        rng: &mut dyn RngCore,
+    ) -> Result<SimulationOutcome> {
+        cfg.validate()?;
+        if input.len() != self.input_width() {
+            return Err(SnnError::InputMismatch {
+                expected: self.input_width(),
+                actual: input.len(),
+            });
+        }
+
+        let mut spikes_per_layer = Vec::with_capacity(self.layers.len() + 1);
+        // Encode the input pixels as the first spike raster.  Pixels are in
+        // [0, 1]; the coding clamps to its ceiling.
+        let mut raster = encode_vector(input, coding, cfg);
+        let mut logits = Vec::new();
+
+        for (index, layer) in self.layers.iter().enumerate() {
+            // Synaptic noise corrupts the spikes actually transmitted to
+            // this layer.
+            let received = noise.apply(&raster, rng);
+            spikes_per_layer.push(received.total_spikes());
+
+            // Integrate the received trains through the coding's PSC kernel.
+            let decoded: Vec<f32> = (0..received.num_neurons())
+                .map(|n| coding.decode(received.train(n), cfg))
+                .collect();
+
+            let mut activation = layer.forward_analog(&decoded)?;
+            let is_last = index + 1 == self.layers.len();
+            if is_last {
+                logits = activation;
+            } else {
+                for v in &mut activation {
+                    *v = v.max(0.0);
+                }
+                raster = encode_vector(&activation, coding, cfg);
+            }
+        }
+
+        let predicted = argmax(&logits);
+        let total_spikes = spikes_per_layer.iter().sum();
+        Ok(SimulationOutcome {
+            logits,
+            predicted,
+            total_spikes,
+            spikes_per_layer,
+        })
+    }
+
+    /// Simulates every row of `inputs` and reports accuracy and spike
+    /// statistics against `labels`.
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InvalidConfig`] if the label count does not match
+    /// the number of rows; propagates simulation errors.
+    pub fn evaluate(
+        &self,
+        inputs: &Tensor,
+        labels: &[usize],
+        coding: &dyn NeuralCoding,
+        cfg: &CodingConfig,
+        noise: &dyn SpikeTransform,
+        rng: &mut dyn RngCore,
+    ) -> Result<EvaluationSummary> {
+        if inputs.shape().rank() != 2 || inputs.dims()[0] != labels.len() {
+            return Err(SnnError::InvalidConfig(format!(
+                "inputs shape {:?} incompatible with {} labels",
+                inputs.dims(),
+                labels.len()
+            )));
+        }
+        let mut correct = 0usize;
+        let mut total_spikes = 0usize;
+        for (i, &label) in labels.iter().enumerate() {
+            let row = inputs.row(i)?;
+            let outcome = self.simulate(row.as_slice(), coding, cfg, noise, rng)?;
+            if outcome.predicted == label {
+                correct += 1;
+            }
+            total_spikes += outcome.total_spikes;
+        }
+        let samples = labels.len().max(1);
+        Ok(EvaluationSummary {
+            accuracy: correct as f32 / samples as f32,
+            mean_spikes_per_sample: total_spikes as f32 / samples as f32,
+            total_spikes,
+            samples: labels.len(),
+        })
+    }
+}
+
+/// Aggregate result of [`SnnNetwork::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluationSummary {
+    /// Fraction of correctly classified samples.
+    pub accuracy: f32,
+    /// Average number of transmitted spikes per inference.
+    pub mean_spikes_per_sample: f32,
+    /// Total number of transmitted spikes over the whole evaluation.
+    pub total_spikes: usize,
+    /// Number of evaluated samples.
+    pub samples: usize,
+}
+
+impl EvaluationSummary {
+    /// Accuracy in percent (as reported in the paper's tables).
+    pub fn accuracy_percent(&self) -> f32 {
+        self.accuracy * 100.0
+    }
+}
+
+fn encode_vector(values: &[f32], coding: &dyn NeuralCoding, cfg: &CodingConfig) -> SpikeRaster {
+    let trains = values.iter().map(|&v| coding.encode(v, cfg)).collect();
+    SpikeRaster::from_trains(trains, cfg.time_steps)
+}
+
+fn argmax(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+            if v > bv {
+                (i, v)
+            } else {
+                (bi, bv)
+            }
+        })
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RateCoding, TtasCoding, TtfsCoding};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A hand-built 2-layer network: the first layer passes through two
+    /// inputs, the second sums them into two outputs with opposite signs so
+    /// the prediction flips depending on which input is larger.
+    fn toy_network() -> SnnNetwork {
+        let l0 = SnnLayer::Linear {
+            weights: Tensor::eye(2),
+            bias: Tensor::zeros(&[2]),
+        };
+        let l1 = SnnLayer::Linear {
+            weights: Tensor::from_vec(vec![1.0, -1.0, -1.0, 1.0], &[2, 2]).unwrap(),
+            bias: Tensor::zeros(&[2]),
+        };
+        SnnNetwork::new(vec![l0, l1]).unwrap()
+    }
+
+    #[test]
+    fn new_validates_width_chain() {
+        let bad = vec![
+            SnnLayer::Linear {
+                weights: Tensor::zeros(&[3, 2]),
+                bias: Tensor::zeros(&[3]),
+            },
+            SnnLayer::Linear {
+                weights: Tensor::zeros(&[2, 4]),
+                bias: Tensor::zeros(&[2]),
+            },
+        ];
+        assert!(SnnNetwork::new(bad).is_err());
+        assert!(SnnNetwork::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn analog_forward_matches_hand_computation() {
+        let net = toy_network();
+        let out = net.analog_forward(&[0.8, 0.2]).unwrap();
+        assert!((out[0] - 0.6).abs() < 1e-6);
+        assert!((out[1] + 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simulation_agrees_with_analog_for_rate_coding() {
+        let net = toy_network();
+        let cfg = CodingConfig::new(200, 1.0);
+        let coding = RateCoding::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for input in [[0.9f32, 0.1], [0.2, 0.7], [0.55, 0.5]] {
+            let analog = net.analog_forward(&input).unwrap();
+            let outcome = net
+                .simulate(&input, &coding, &cfg, &IdentityTransform, &mut rng)
+                .unwrap();
+            let analog_pred = argmax(&analog);
+            assert_eq!(outcome.predicted, analog_pred, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn simulation_agrees_with_analog_for_ttfs_and_ttas() {
+        let net = toy_network();
+        let cfg = CodingConfig::new(128, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for input in [[0.9f32, 0.2], [0.1, 0.8]] {
+            let analog_pred = argmax(&net.analog_forward(&input).unwrap());
+            let ttfs = net
+                .simulate(&input, &TtfsCoding::new(), &cfg, &IdentityTransform, &mut rng)
+                .unwrap();
+            let ttas = net
+                .simulate(&input, &TtasCoding::new(4), &cfg, &IdentityTransform, &mut rng)
+                .unwrap();
+            assert_eq!(ttfs.predicted, analog_pred);
+            assert_eq!(ttas.predicted, analog_pred);
+        }
+    }
+
+    #[test]
+    fn spike_counts_are_reported_per_layer() {
+        let net = toy_network();
+        let cfg = CodingConfig::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = net
+            .simulate(&[0.5, 0.5], &RateCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.spikes_per_layer.len(), 2);
+        assert_eq!(
+            outcome.total_spikes,
+            outcome.spikes_per_layer.iter().sum::<usize>()
+        );
+        assert!(outcome.total_spikes > 0);
+    }
+
+    #[test]
+    fn ttfs_uses_far_fewer_spikes_than_rate() {
+        let net = toy_network();
+        let cfg = CodingConfig::new(128, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rate = net
+            .simulate(&[0.8, 0.6], &RateCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .unwrap();
+        let ttfs = net
+            .simulate(&[0.8, 0.6], &TtfsCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .unwrap();
+        assert!(
+            ttfs.total_spikes * 10 < rate.total_spikes,
+            "ttfs {} rate {}",
+            ttfs.total_spikes,
+            rate.total_spikes
+        );
+    }
+
+    #[test]
+    fn wrong_input_width_rejected() {
+        let net = toy_network();
+        let cfg = CodingConfig::new(64, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(net
+            .simulate(&[0.5], &RateCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn evaluate_reports_full_accuracy_on_separable_toy_task() {
+        let net = toy_network();
+        let cfg = CodingConfig::new(128, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let inputs =
+            Tensor::from_vec(vec![0.9, 0.1, 0.1, 0.9, 0.7, 0.3, 0.2, 0.8], &[4, 2]).unwrap();
+        let labels = vec![0usize, 1, 0, 1];
+        let summary = net
+            .evaluate(&inputs, &labels, &RateCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .unwrap();
+        assert_eq!(summary.samples, 4);
+        assert!((summary.accuracy - 1.0).abs() < 1e-6);
+        assert!(summary.mean_spikes_per_sample > 0.0);
+        assert_eq!(summary.accuracy_percent(), 100.0);
+    }
+
+    #[test]
+    fn scale_weights_scales_all_weighted_layers() {
+        let mut net = toy_network();
+        net.scale_weights(2.0);
+        let SnnLayer::Linear { weights, .. } = &net.layers()[0] else {
+            panic!("expected linear layer");
+        };
+        assert_eq!(weights.get(&[0, 0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn identity_transform_is_a_noop() {
+        let mut raster = SpikeRaster::new(2, 10);
+        raster.set_train(0, vec![1, 2, 3]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = IdentityTransform.apply(&raster, &mut rng);
+        assert_eq!(out, raster);
+        assert_eq!(IdentityTransform.describe(), "clean");
+    }
+}

@@ -1,0 +1,165 @@
+//! Spike-train storage.
+
+use serde::{Deserialize, Serialize};
+
+/// Spike trains of one layer over a fixed time window.
+///
+/// Spikes are binary events; a train is the sorted list of time steps at
+/// which the neuron fired.  All value information is carried by *when* the
+/// spikes occur (and how many there are), which is what makes the different
+/// neural codings differ in their robustness to spike deletion and jitter.
+///
+/// ```
+/// use nrsnn_snn::SpikeRaster;
+///
+/// let mut raster = SpikeRaster::new(3, 16);
+/// raster.set_train(0, vec![1, 5, 9]);
+/// raster.set_train(2, vec![0]);
+/// assert_eq!(raster.total_spikes(), 4);
+/// assert_eq!(raster.train(1), &[] as &[u32]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeRaster {
+    num_steps: u32,
+    trains: Vec<Vec<u32>>,
+}
+
+impl SpikeRaster {
+    /// Creates an empty raster for `num_neurons` neurons over `num_steps`
+    /// time steps.
+    pub fn new(num_neurons: usize, num_steps: u32) -> Self {
+        SpikeRaster {
+            num_steps,
+            trains: vec![Vec::new(); num_neurons],
+        }
+    }
+
+    /// Number of neurons in the raster.
+    pub fn num_neurons(&self) -> usize {
+        self.trains.len()
+    }
+
+    /// Length of the time window in steps.
+    pub fn num_steps(&self) -> u32 {
+        self.num_steps
+    }
+
+    /// The spike train (sorted time steps) of neuron `neuron`.
+    ///
+    /// # Panics
+    /// Panics if `neuron` is out of range.
+    pub fn train(&self, neuron: usize) -> &[u32] {
+        &self.trains[neuron]
+    }
+
+    /// Replaces the spike train of neuron `neuron`.  Times are clamped to
+    /// the window and sorted.
+    ///
+    /// # Panics
+    /// Panics if `neuron` is out of range.
+    pub fn set_train(&mut self, neuron: usize, mut times: Vec<u32>) {
+        let max = self.num_steps.saturating_sub(1);
+        for t in &mut times {
+            if *t > max {
+                *t = max;
+            }
+        }
+        times.sort_unstable();
+        self.trains[neuron] = times;
+    }
+
+    /// Iterates over `(neuron_index, spike_train)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
+        self.trains.iter().enumerate().map(|(i, t)| (i, t.as_slice()))
+    }
+
+    /// Total number of spikes across all neurons.
+    pub fn total_spikes(&self) -> usize {
+        self.trains.iter().map(|t| t.len()).sum()
+    }
+
+    /// Mean firing rate (spikes per neuron per time step).
+    pub fn mean_rate(&self) -> f32 {
+        if self.trains.is_empty() || self.num_steps == 0 {
+            return 0.0;
+        }
+        self.total_spikes() as f32 / (self.trains.len() as f32 * self.num_steps as f32)
+    }
+
+    /// Builds a raster from per-neuron trains, clamping and sorting each.
+    pub fn from_trains(trains: Vec<Vec<u32>>, num_steps: u32) -> Self {
+        let mut raster = SpikeRaster::new(trains.len(), num_steps);
+        for (i, t) in trains.into_iter().enumerate() {
+            raster.set_train(i, t);
+        }
+        raster
+    }
+
+    /// Maps every spike train through `f`, producing a new raster over the
+    /// same window (used by noise models).
+    pub fn map_trains<F>(&self, mut f: F) -> SpikeRaster
+    where
+        F: FnMut(usize, &[u32]) -> Vec<u32>,
+    {
+        let trains = self
+            .trains
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+        SpikeRaster::from_trains(trains, self.num_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_raster_is_empty() {
+        let r = SpikeRaster::new(5, 10);
+        assert_eq!(r.num_neurons(), 5);
+        assert_eq!(r.num_steps(), 10);
+        assert_eq!(r.total_spikes(), 0);
+        assert_eq!(r.mean_rate(), 0.0);
+    }
+
+    #[test]
+    fn set_train_sorts_and_clamps() {
+        let mut r = SpikeRaster::new(1, 8);
+        r.set_train(0, vec![9, 3, 20, 1]);
+        assert_eq!(r.train(0), &[1, 3, 7, 7]);
+    }
+
+    #[test]
+    fn total_and_rate() {
+        let mut r = SpikeRaster::new(2, 10);
+        r.set_train(0, vec![0, 1, 2]);
+        r.set_train(1, vec![5]);
+        assert_eq!(r.total_spikes(), 4);
+        assert!((r.mean_rate() - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_trains_round_trips() {
+        let r = SpikeRaster::from_trains(vec![vec![1, 2], vec![], vec![3]], 5);
+        assert_eq!(r.num_neurons(), 3);
+        assert_eq!(r.train(2), &[3]);
+    }
+
+    #[test]
+    fn map_trains_applies_per_neuron() {
+        let r = SpikeRaster::from_trains(vec![vec![1, 2, 3], vec![4]], 10);
+        let doubled = r.map_trains(|_, t| t.iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled.train(0), &[2, 4, 6]);
+        assert_eq!(doubled.train(1), &[8]);
+    }
+
+    #[test]
+    fn iter_yields_all_neurons() {
+        let r = SpikeRaster::from_trains(vec![vec![1], vec![2], vec![]], 4);
+        assert_eq!(r.iter().count(), 3);
+        let counts: Vec<usize> = r.iter().map(|(_, t)| t.len()).collect();
+        assert_eq!(counts, vec![1, 1, 0]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Random weight initialisers.
+//!
+//! All functions take the RNG by mutable reference so experiments remain
+//! reproducible under a caller-controlled seed.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Uniformly distributed tensor in `[low, high)`.
+///
+/// ```
+/// use nrsnn_tensor::uniform;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let t = uniform(&mut rng, &[4, 4], -1.0, 1.0);
+/// assert!(t.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+/// ```
+pub fn uniform<R: Rng>(rng: &mut R, shape: &[usize], low: f32, high: f32) -> Tensor {
+    let len: usize = shape.iter().product();
+    let data: Vec<f32> = (0..len).map(|_| rng.gen_range(low..high)).collect();
+    Tensor::from_vec(data, shape).expect("uniform: internally consistent shape")
+}
+
+/// Xavier/Glorot uniform initialisation for a dense layer with `fan_in`
+/// inputs and `fan_out` outputs: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, shape, -a, a)
+}
+
+/// He (Kaiming) normal initialisation suited for ReLU networks:
+/// `N(0, sqrt(2 / fan_in))`.
+pub fn he_normal<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let len: usize = shape.iter().product();
+    let data: Vec<f32> = (0..len).map(|_| sample_standard_normal(rng) * std).collect();
+    Tensor::from_vec(data, shape).expect("he_normal: internally consistent shape")
+}
+
+/// Samples a standard normal variate via the Box–Muller transform (avoids a
+/// dependency on `rand_distr`).
+pub(crate) fn sample_standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&mut rng, &[100], -0.5, 0.5);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(
+            uniform(&mut a, &[10], 0.0, 1.0).as_slice(),
+            uniform(&mut b, &[10], 0.0, 1.0).as_slice()
+        );
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(&mut rng, &[1000], 1000, 1000, );
+        let bound = (6.0f32 / 2000.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn he_normal_has_reasonable_spread() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = he_normal(&mut rng, &[5000], 100);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 5000.0;
+        // target variance is 2/100 = 0.02
+        assert!((var - 0.02).abs() < 0.005, "variance {var} too far from 0.02");
+        assert!(mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(sample_standard_normal(&mut rng).is_finite());
+        }
+    }
+}

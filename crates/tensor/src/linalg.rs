@@ -1,0 +1,218 @@
+//! Dense linear-algebra kernels: matrix multiplication, matrix-vector
+//! products, transposition and outer products.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Multiplies two rank-2 tensors: `(m x k) · (k x n) -> (m x n)`.
+///
+/// # Errors
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2 and
+/// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// ```
+/// use nrsnn_tensor::{matmul, Tensor};
+/// # fn main() -> Result<(), nrsnn_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2])?;
+/// let c = matmul(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    ensure_rank(a, 2, "matmul")?;
+    ensure_rank(b, 2, "matmul")?;
+    let (m, k1) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k1 != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    // ikj loop order keeps the inner loop contiguous over `b` and `out`.
+    for i in 0..m {
+        for k in 0..k1 {
+            let aik = av[i * k1 + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bv[k * n..(k + 1) * n];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Multiplies a rank-2 matrix `(m x n)` by a rank-1 vector of length `n`.
+///
+/// # Errors
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] for
+/// invalid operands.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    ensure_rank(a, 2, "matvec")?;
+    ensure_rank(x, 1, "matvec")?;
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if x.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+            op: "matvec",
+        });
+    }
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &av[i * n..(i + 1) * n];
+        out[i] = row.iter().zip(xv).map(|(&a, &b)| a * b).sum();
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    ensure_rank(a, 2, "transpose")?;
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Outer product of two rank-1 tensors: `(m) ⊗ (n) -> (m x n)`.
+///
+/// # Errors
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 1.
+pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    ensure_rank(a, 1, "outer")?;
+    ensure_rank(b, 1, "outer")?;
+    let (m, n) = (a.len(), b.len());
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[i * n + j] = av[i] * bv[j];
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+fn ensure_rank(t: &Tensor, rank: usize, op: &'static str) -> Result<()> {
+    if t.shape().rank() != rank {
+        return Err(TensorError::RankMismatch {
+            expected: rank,
+            actual: t.shape().rank(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+impl Tensor {
+    /// Matrix multiplication; see [`matmul`].
+    ///
+    /// # Errors
+    /// Same as [`matmul`].
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        matmul(self, other)
+    }
+
+    /// Matrix transposition; see [`transpose`].
+    ///
+    /// # Errors
+    /// Same as [`transpose`].
+    pub fn transpose(&self) -> Result<Tensor> {
+        transpose(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let i = Tensor::eye(3);
+        let c = matmul(&a, &i).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_inner_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2]).unwrap();
+        let x = Tensor::from_slice(&[3.0, 4.0]);
+        let y = matvec(&a, &x).unwrap();
+        assert_eq!(y.as_slice(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.get(&[2, 1]).unwrap(), 6.0);
+        let tt = transpose(&t).unwrap();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0, 5.0]);
+        let o = outer(&a, &b).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn rank_checks() {
+        let v = Tensor::from_slice(&[1.0, 2.0]);
+        let m = Tensor::zeros(&[2, 2]);
+        assert!(matmul(&v, &m).is_err());
+        assert!(matvec(&v, &v).is_err());
+        assert!(transpose(&v).is_err());
+        assert!(outer(&m, &v).is_err());
+    }
+
+    #[test]
+    fn matmul_matvec_agree() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let x = Tensor::from_slice(&[1.0, -1.0, 2.0]);
+        let via_matvec = matvec(&a, &x).unwrap();
+        let xm = x.reshape(&[3, 1]).unwrap();
+        let via_matmul = matmul(&a, &xm).unwrap();
+        assert_eq!(via_matvec.as_slice(), via_matmul.as_slice());
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: train a small DNN on the MNIST-like synthetic dataset,
+//! convert it to a spiking network, and compare clean vs noisy inference
+//! under the paper's proposed noise-robust configuration (TTAS + weight
+//! scaling).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nrsnn::prelude::*;
+
+fn main() -> Result<(), NrsnnError> {
+    println!("== NRSNN quickstart ==");
+
+    // 1. Train the source DNN (synthetic MNIST-scale task).
+    let config = PipelineConfig::mnist_small();
+    println!(
+        "training DNN on {} ({} train / {} test samples) ...",
+        config.dataset.name, config.dataset.train_samples, config.dataset.test_samples
+    );
+    let pipeline = TrainedPipeline::build(&config)?;
+    println!(
+        "DNN accuracy: train {:.1}%, test {:.1}%",
+        pipeline.dnn_train_accuracy() * 100.0,
+        pipeline.dnn_test_accuracy() * 100.0
+    );
+
+    // 2. Convert to an SNN and evaluate the clean baseline under TTFS coding
+    //    (the most efficient existing temporal coding).
+    let samples = 64;
+    let clean = pipeline.evaluate_snn(
+        CodingKind::Ttfs,
+        128,
+        &IdentityTransform,
+        &WeightScaling::none(),
+        samples,
+        0,
+    )?;
+    println!(
+        "TTFS SNN, clean:            {:.1}%  ({:.0} spikes/inference)",
+        clean.accuracy_percent(),
+        clean.mean_spikes_per_sample
+    );
+
+    // 3. Same network under 50 % spike deletion — the efficiency of TTFS
+    //    comes with fragility.
+    let deletion = DeletionNoise::new(0.5)?;
+    let noisy = pipeline.evaluate_snn(
+        CodingKind::Ttfs,
+        128,
+        &deletion,
+        &WeightScaling::none(),
+        samples,
+        0,
+    )?;
+    println!(
+        "TTFS SNN, 50% deletion:     {:.1}%",
+        noisy.accuracy_percent()
+    );
+
+    // 4. The paper's counter-measures: TTAS coding + weight scaling.
+    let robust = RobustSnnBuilder::new()
+        .burst_duration(5)
+        .expected_deletion(0.5)
+        .time_steps(128)
+        .build(&pipeline)?;
+    let robust_noisy = robust.evaluate_under_deletion(&pipeline, 0.5, samples, 0)?;
+    println!(
+        "TTAS(5)+WS, 50% deletion:   {:.1}%  ({:.0} spikes/inference)",
+        robust_noisy.accuracy_percent(),
+        robust_noisy.mean_spikes_per_sample
+    );
+
+    // 5. And under jitter, where the burst averages the noise out.
+    let robust_jitter = robust.evaluate_under_jitter(&pipeline, 2.0, samples, 0)?;
+    println!(
+        "TTAS(5)+WS, jitter σ=2.0:   {:.1}%",
+        robust_jitter.accuracy_percent()
+    );
+
+    Ok(())
+}

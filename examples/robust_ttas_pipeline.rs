@@ -1,0 +1,74 @@
+//! Reproduces §IV/§V figures about the proposed methods:
+//!
+//! * Fig. 4 — weight scaling plus TTAS(t_a) under deletion noise,
+//! * Fig. 6 — TTAS(t_a) versus TTFS under jitter noise,
+//! * Fig. 7 — all codings ± WS compared with TTAS+WS under deletion,
+//! * Fig. 8 — all codings compared with TTAS(10) under jitter.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example robust_ttas_pipeline
+//! ```
+
+use nrsnn::prelude::*;
+
+fn main() -> Result<(), NrsnnError> {
+    let pipeline_config = PipelineConfig::cifar10_full();
+    println!("training CNN on {} ...", pipeline_config.dataset.name);
+    let pipeline = TrainedPipeline::build(&pipeline_config)?;
+    println!(
+        "DNN test accuracy: {:.1}%\n",
+        pipeline.dnn_test_accuracy() * 100.0
+    );
+
+    let sweep = SweepConfig {
+        time_steps: 128,
+        eval_samples: 64,
+        seed: 77,
+    };
+    let deletion_levels = paper_deletion_probabilities();
+    let jitter_levels = paper_jitter_intensities();
+
+    // ---- Fig. 4: weight scaling and TTAS(t_a) under deletion ----
+    let mut fig4_codings = CodingKind::baselines();
+    for duration in [1u32, 2, 3, 4, 5] {
+        fig4_codings.push(CodingKind::Ttas(duration));
+    }
+    let fig4 = deletion_sweep(&pipeline, &fig4_codings, &deletion_levels, true, &sweep)?;
+    println!("Fig. 4 — weight scaling (WS) and TTAS under spike deletion:");
+    println!("{}", format_sweep_table(&fig4, "Deletion p"));
+
+    // ---- Fig. 6: TTFS vs TTAS under jitter ----
+    let fig6_codings = vec![
+        CodingKind::Ttfs,
+        CodingKind::Ttas(1),
+        CodingKind::Ttas(2),
+        CodingKind::Ttas(3),
+        CodingKind::Ttas(4),
+        CodingKind::Ttas(5),
+        CodingKind::Ttas(10),
+    ];
+    let fig6 = jitter_sweep(&pipeline, &fig6_codings, &jitter_levels, &sweep)?;
+    println!("Fig. 6 — TTFS vs TTAS under spike jitter:");
+    println!("{}", format_sweep_table(&fig6, "Jitter sigma"));
+
+    // ---- Fig. 7: comparison under deletion ----
+    let baselines = CodingKind::baselines();
+    let unscaled = deletion_sweep(&pipeline, &baselines, &deletion_levels, false, &sweep)?;
+    let mut scaled_codings = baselines.clone();
+    scaled_codings.push(CodingKind::Ttas(5));
+    let scaled = deletion_sweep(&pipeline, &scaled_codings, &deletion_levels, true, &sweep)?;
+    println!("Fig. 7 — comparison for spike deletion (without WS):");
+    println!("{}", format_sweep_table(&unscaled, "Deletion p"));
+    println!("Fig. 7 — comparison for spike deletion (with WS, incl. TTAS(5)+WS):");
+    println!("{}", format_sweep_table(&scaled, "Deletion p"));
+
+    // ---- Fig. 8: comparison under jitter ----
+    let mut fig8_codings = CodingKind::baselines();
+    fig8_codings.push(CodingKind::Ttas(10));
+    let fig8 = jitter_sweep(&pipeline, &fig8_codings, &jitter_levels, &sweep)?;
+    println!("Fig. 8 — comparison for spike jitter (incl. TTAS(10)):");
+    println!("{}", format_sweep_table(&fig8, "Jitter sigma"));
+
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Reproduces Tables I and II: accuracy and spike counts under deletion and
+//! jitter for all three datasets (MNIST-like, CIFAR-10-like, CIFAR-100-like)
+//! and all methods, including the proposed TTAS + weight scaling.
+//!
+//! This is the heaviest example (three pipelines, every coding, every noise
+//! point); expect a few minutes in release mode.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example table1_table2_report
+//! ```
+
+use nrsnn::prelude::*;
+use nrsnn_noise::{paper_table_deletion_points, paper_table_jitter_points};
+
+fn main() -> Result<(), NrsnnError> {
+    let datasets = vec![
+        ("mnist-like", PipelineConfig::mnist_full()),
+        ("cifar10-like", PipelineConfig::cifar10_full()),
+        ("cifar100-like", PipelineConfig::cifar100_full()),
+    ];
+
+    let sweep = SweepConfig {
+        time_steps: 128,
+        eval_samples: 48,
+        seed: 4242,
+    };
+    let deletion_points = paper_table_deletion_points();
+    let jitter_points = paper_table_jitter_points();
+
+    let mut table1_rows: Vec<Table1Row> = Vec::new();
+    let mut table2_rows: Vec<Table2Row> = Vec::new();
+
+    for (name, config) in datasets {
+        println!("training pipeline for {name} ...");
+        let pipeline = TrainedPipeline::build(&config)?;
+        println!(
+            "  DNN test accuracy: {:.1}%",
+            pipeline.dnn_test_accuracy() * 100.0
+        );
+
+        // Table I rows: the four baselines + TTAS(5), all with weight scaling.
+        let mut table1_codings = CodingKind::baselines();
+        table1_codings.push(CodingKind::Ttas(5));
+        let deletion = deletion_sweep(&pipeline, &table1_codings, &deletion_points, true, &sweep)?;
+        for &coding in &table1_codings {
+            table1_rows.push(Table1Row::from_points(name, &deletion, coding));
+        }
+
+        // Table II rows: the temporal codings + TTAS(10), no weight scaling.
+        let table2_codings = vec![
+            CodingKind::Phase,
+            CodingKind::Burst,
+            CodingKind::Ttfs,
+            CodingKind::Ttas(10),
+        ];
+        let jitter = jitter_sweep(&pipeline, &table2_codings, &jitter_points, &sweep)?;
+        for &coding in &table2_codings {
+            table2_rows.push(Table2Row::from_points(name, &jitter, coding));
+        }
+    }
+
+    println!();
+    println!("{}", format_table1(&table1_rows, &deletion_points));
+    println!();
+    println!("{}", format_table2(&table2_rows, &jitter_points));
+
+    // Also emit machine-readable results for EXPERIMENTS.md bookkeeping.
+    let json = serde_json::json!({
+        "table1": table1_rows,
+        "table2": table2_rows,
+    });
+    std::fs::write("table1_table2_results.json", json.to_string()).ok();
+    println!("(wrote table1_table2_results.json)");
+
+    Ok(())
+}

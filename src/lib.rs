@@ -1,0 +1,7 @@
+//! Workspace-level umbrella package hosting the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/`.
+//!
+//! The actual library API lives in the [`nrsnn`] crate (re-exported here for
+//! convenience).
+
+pub use nrsnn;
