@@ -16,7 +16,11 @@ fn regenerate_figure() {
         &bench_sweep_config(),
     )
     .expect("fig3 sweep");
-    print_figure("Fig. 3: accuracy vs jitter intensity", &points, "Jitter sigma");
+    print_figure(
+        "Fig. 3: accuracy vs jitter intensity",
+        &points,
+        "Jitter sigma",
+    );
 }
 
 fn bench(c: &mut Criterion) {

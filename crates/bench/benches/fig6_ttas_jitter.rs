@@ -26,7 +26,11 @@ fn regenerate_figure() {
         &bench_sweep_config(),
     )
     .expect("fig6 sweep");
-    print_figure("Fig. 6: TTFS vs TTAS(t_a) under jitter", &points, "Jitter sigma");
+    print_figure(
+        "Fig. 6: TTFS vs TTAS(t_a) under jitter",
+        &points,
+        "Jitter sigma",
+    );
 }
 
 fn bench(c: &mut Criterion) {

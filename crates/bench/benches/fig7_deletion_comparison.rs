@@ -14,7 +14,11 @@ fn regenerate_figure() {
 
     let unscaled = deletion_sweep(pipeline, &CodingKind::baselines(), &levels, false, &sweep)
         .expect("fig7 unscaled sweep");
-    print_figure("Fig. 7 (left): baselines without WS", &unscaled, "Deletion p");
+    print_figure(
+        "Fig. 7 (left): baselines without WS",
+        &unscaled,
+        "Deletion p",
+    );
 
     let mut with_ws = CodingKind::baselines();
     with_ws.push(CodingKind::Ttas(5));

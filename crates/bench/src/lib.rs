@@ -10,6 +10,9 @@
 //! The benches share the cached pipelines below so the expensive DNN
 //! training happens once per dataset per bench binary.
 
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::sync::OnceLock;
 
 use nrsnn::prelude::*;

@@ -100,7 +100,8 @@ fn build_cnn<R: Rng>(spec: &DatasetSpec, dropout: f32, rng: &mut R) -> Result<Se
     let c1_out = 12usize;
     net.push(Conv2d::new(rng, conv1, c1_out)?);
     net.push(Relu::new());
-    let pool1 = Pool2dGeometry::new(c1_out, spec.height, spec.width, 2, 2).map_err(NrsnnError::Tensor)?;
+    let pool1 =
+        Pool2dGeometry::new(c1_out, spec.height, spec.width, 2, 2).map_err(NrsnnError::Tensor)?;
     net.push(AvgPool2d::new(pool1));
 
     // Block 2: conv 3x3 -> ReLU -> avgpool 2x2.

@@ -84,8 +84,7 @@ impl Table1Row {
 
     /// Builds a row from sweep points of a single coding.
     pub fn from_points(dataset: &str, points: &[SweepPoint], coding: CodingKind) -> Self {
-        let mut filtered: Vec<&SweepPoint> =
-            points.iter().filter(|p| p.coding == coding).collect();
+        let mut filtered: Vec<&SweepPoint> = points.iter().filter(|p| p.coding == coding).collect();
         filtered.sort_by(|a, b| {
             a.noise_level
                 .partial_cmp(&b.noise_level)
@@ -101,6 +100,20 @@ impl Table1Row {
             accuracies: filtered.iter().map(|p| p.accuracy_percent).collect(),
             spikes: filtered.iter().map(|p| p.mean_spikes).collect(),
         }
+    }
+}
+
+// Hand-written serialization for the machine-readable results dump (the
+// derive on the row types is a no-op under the offline shims — see
+// shims/README.md).
+impl Serialize for Table1Row {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("dataset".to_string(), self.dataset.to_value()),
+            ("method".to_string(), self.method.to_value()),
+            ("accuracies".to_string(), self.accuracies.to_value()),
+            ("spikes".to_string(), self.spikes.to_value()),
+        ])
     }
 }
 
@@ -162,6 +175,17 @@ impl Table2Row {
     }
 }
 
+// Hand-written serialization (see the `Table1Row` impl above).
+impl Serialize for Table2Row {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("dataset".to_string(), self.dataset.to_value()),
+            ("method".to_string(), self.method.to_value()),
+            ("accuracies".to_string(), self.accuracies.to_value()),
+        ])
+    }
+}
+
 /// Formats Table II: accuracy of spike jitter per method and dataset.
 pub fn format_table2(rows: &[Table2Row], levels: &[f64]) -> String {
     let mut out = String::new();
@@ -188,6 +212,31 @@ pub fn format_table2(rows: &[Table2Row], levels: &[f64]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // Guards the hand-written Serialize impls (used by the
+    // `table1_table2_report` example's JSON dump) against field drift.
+    #[test]
+    fn rows_serialize_every_field() {
+        let row1 = Table1Row {
+            dataset: "mnist-like".to_string(),
+            method: "Rate+WS".to_string(),
+            accuracies: vec![95.0, 60.0],
+            spikes: vec![1000.0, 500.0],
+        };
+        assert_eq!(
+            serde_json::to_string(&row1).unwrap(),
+            r#"{"dataset":"mnist-like","method":"Rate+WS","accuracies":[95,60],"spikes":[1000,500]}"#
+        );
+        let row2 = Table2Row {
+            dataset: "cifar10-like".to_string(),
+            method: "TTAS(5)".to_string(),
+            accuracies: vec![93.0],
+        };
+        assert_eq!(
+            serde_json::to_string(&row2).unwrap(),
+            r#"{"dataset":"cifar10-like","method":"TTAS(5)","accuracies":[93]}"#
+        );
+    }
 
     fn sample_points() -> Vec<SweepPoint> {
         vec![

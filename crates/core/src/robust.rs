@@ -1,7 +1,9 @@
 //! The paper's proposed noise-robust deep SNN: TTAS coding + weight scaling.
 
 use nrsnn_noise::{DeletionNoise, JitterNoise, WeightScaling};
-use nrsnn_snn::{CodingConfig, CodingKind, EvaluationSummary, SnnNetwork, SpikeTransform, TtasCoding};
+use nrsnn_snn::{
+    CodingConfig, CodingKind, EvaluationSummary, SnnNetwork, SpikeTransform, TtasCoding,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -123,12 +125,7 @@ impl RobustSnn {
     ///
     /// # Errors
     /// Propagates simulation errors (e.g. wrong input width).
-    pub fn classify(
-        &self,
-        input: &[f32],
-        noise: &dyn SpikeTransform,
-        seed: u64,
-    ) -> Result<usize> {
+    pub fn classify(&self, input: &[f32], noise: &dyn SpikeTransform, seed: u64) -> Result<usize> {
         let mut rng = StdRng::seed_from_u64(seed);
         let outcome = self
             .network
@@ -258,7 +255,10 @@ mod tests {
     #[test]
     fn classify_returns_a_valid_class() {
         let pipeline = tiny_pipeline();
-        let robust = RobustSnnBuilder::new().time_steps(64).build(&pipeline).unwrap();
+        let robust = RobustSnnBuilder::new()
+            .time_steps(64)
+            .build(&pipeline)
+            .unwrap();
         let row = pipeline.dataset().test.inputs.row(0).unwrap();
         let class = robust
             .classify(row.as_slice(), &nrsnn_snn::IdentityTransform, 0)

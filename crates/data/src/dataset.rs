@@ -136,7 +136,9 @@ impl Batcher {
     /// Returns [`DataError::InvalidSpec`] if `batch_size` is zero.
     pub fn new(set: &LabelledSet, batch_size: usize) -> Result<Self> {
         if batch_size == 0 {
-            return Err(DataError::InvalidSpec("batch size must be non-zero".to_string()));
+            return Err(DataError::InvalidSpec(
+                "batch size must be non-zero".to_string(),
+            ));
         }
         Ok(Batcher {
             order: (0..set.len()).collect(),

@@ -116,16 +116,24 @@ impl DatasetSpec {
     /// sample counts.
     pub fn validate(&self) -> Result<()> {
         if self.channels == 0 || self.height == 0 || self.width == 0 {
-            return Err(DataError::InvalidSpec("image dimensions must be non-zero".to_string()));
+            return Err(DataError::InvalidSpec(
+                "image dimensions must be non-zero".to_string(),
+            ));
         }
         if self.classes == 0 {
-            return Err(DataError::InvalidSpec("need at least one class".to_string()));
+            return Err(DataError::InvalidSpec(
+                "need at least one class".to_string(),
+            ));
         }
         if self.train_samples == 0 || self.test_samples == 0 {
-            return Err(DataError::InvalidSpec("sample counts must be non-zero".to_string()));
+            return Err(DataError::InvalidSpec(
+                "sample counts must be non-zero".to_string(),
+            ));
         }
         if self.blobs_per_class == 0 {
-            return Err(DataError::InvalidSpec("need at least one blob per class".to_string()));
+            return Err(DataError::InvalidSpec(
+                "need at least one blob per class".to_string(),
+            ));
         }
         Ok(())
     }
@@ -333,7 +341,13 @@ mod tests {
     #[test]
     fn different_classes_have_different_prototypes() {
         let mut rng = StdRng::seed_from_u64(3);
-        let spec = DatasetSpec::mnist_like().with_samples(20, 10).with_pixel_noise(0.0);
+        let mut spec = DatasetSpec::mnist_like()
+            .with_samples(20, 10)
+            .with_pixel_noise(0.0);
+        // Also disable the random translation: with any shift allowed, two
+        // same-class samples can be offset copies whose distance rivals the
+        // inter-class one.
+        spec.max_shift = 0;
         let data = SyntheticDataset::generate(&spec, &mut rng).unwrap();
         // With zero pixel noise, samples of different classes should differ
         // much more than samples of the same class (prototype separation).
@@ -342,7 +356,10 @@ mod tests {
         let row1 = data.train.inputs.row(1).unwrap(); // class 1
         let same = row0.sub(&row10).unwrap().norm_sq();
         let diff = row0.sub(&row1).unwrap().norm_sq();
-        assert!(diff > same, "inter-class {diff} should exceed intra-class {same}");
+        assert!(
+            diff > same,
+            "inter-class {diff} should exceed intra-class {same}"
+        );
     }
 
     #[test]

@@ -149,7 +149,8 @@ impl Layer for Conv2d {
             let bias = self.bias.as_slice();
             for c in 0..self.out_channels {
                 for p in 0..positions {
-                    out[b * self.out_features() + c * positions + p] = pv[p * self.out_channels + c] + bias[c];
+                    out[b * self.out_features() + c * positions + p] =
+                        pv[p * self.out_channels + c] + bias[c];
                 }
             }
             if mode == Mode::Train {
@@ -194,8 +195,7 @@ impl Layer for Conv2d {
             // dcols = g (positions x out_ch) · W (out_ch x patch)
             let dcols = matmul(&g, &self.weights)?;
             let dinput = col2im(&dcols, &self.geometry)?;
-            let dst = &mut grad_input
-                [b * self.geometry.in_len()..(b + 1) * self.geometry.in_len()];
+            let dst = &mut grad_input[b * self.geometry.in_len()..(b + 1) * self.geometry.in_len()];
             for (d, &s) in dst.iter_mut().zip(dinput.as_slice()) {
                 *d += s;
             }
@@ -246,11 +246,8 @@ mod tests {
     #[test]
     fn identity_convolution_preserves_input() {
         let mut layer = identity_kernel_layer();
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-            &[1, 9],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 9]).unwrap();
         let y = layer.forward(&x, Mode::Infer).unwrap();
         assert_eq!(y.as_slice(), x.as_slice());
     }
@@ -310,8 +307,12 @@ mod tests {
     #[test]
     fn from_weights_validates() {
         let geometry = Conv2dGeometry::new(1, 4, 4, 3, 1, 0).unwrap();
-        assert!(Conv2d::from_weights(geometry, Tensor::zeros(&[2, 8]), Tensor::zeros(&[2])).is_err());
-        assert!(Conv2d::from_weights(geometry, Tensor::zeros(&[2, 9]), Tensor::zeros(&[3])).is_err());
+        assert!(
+            Conv2d::from_weights(geometry, Tensor::zeros(&[2, 8]), Tensor::zeros(&[2])).is_err()
+        );
+        assert!(
+            Conv2d::from_weights(geometry, Tensor::zeros(&[2, 9]), Tensor::zeros(&[3])).is_err()
+        );
     }
 
     #[test]

@@ -40,9 +40,9 @@ impl LayerDescriptor {
     pub fn output_width(&self) -> usize {
         match self {
             LayerDescriptor::Linear { weights, .. } => weights.dims()[0],
-            LayerDescriptor::Conv { weights, geometry, .. } => {
-                weights.dims()[0] * geometry.out_positions()
-            }
+            LayerDescriptor::Conv {
+                weights, geometry, ..
+            } => weights.dims()[0] * geometry.out_positions(),
             LayerDescriptor::AvgPool { geometry } => geometry.out_len(),
         }
     }

@@ -117,8 +117,8 @@ mod tests {
             lp.as_mut_slice()[i] += eps;
             let mut lm = logits.clone();
             lm.as_mut_slice()[i] -= eps;
-            let fd = (loss.loss(&lp, &labels).unwrap() - loss.loss(&lm, &labels).unwrap())
-                / (2.0 * eps);
+            let fd =
+                (loss.loss(&lp, &labels).unwrap() - loss.loss(&lm, &labels).unwrap()) / (2.0 * eps);
             assert!(
                 (fd - grad.as_slice()[i]).abs() < 1e-3,
                 "logit {i}: fd {fd} analytic {}",

@@ -53,7 +53,11 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
 /// # Errors
 /// Returns [`DnnError::InvalidLabels`] if sizes disagree or a label is out of
 /// range.
-pub fn confusion_matrix(logits: &Tensor, labels: &[usize], classes: usize) -> Result<Vec<Vec<usize>>> {
+pub fn confusion_matrix(
+    logits: &Tensor,
+    labels: &[usize],
+    classes: usize,
+) -> Result<Vec<Vec<usize>>> {
     if logits.shape().rank() != 2 || logits.dims()[0] != labels.len() {
         return Err(DnnError::InvalidLabels(
             "logits batch does not match labels".to_string(),

@@ -51,7 +51,9 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 
@@ -201,7 +203,9 @@ impl Sequential {
         rng: &mut R,
     ) -> Result<TrainReport> {
         if self.is_empty() {
-            return Err(DnnError::InvalidConfig("cannot train an empty network".to_string()));
+            return Err(DnnError::InvalidConfig(
+                "cannot train an empty network".to_string(),
+            ));
         }
         if config.batch_size == 0 || config.epochs == 0 {
             return Err(DnnError::InvalidConfig(
@@ -320,10 +324,21 @@ mod tests {
         };
         let mut opt = Sgd::new(0.5, 0.9);
         let report = net
-            .fit(&x, &y, &mut opt, &SoftmaxCrossEntropy::new(), &cfg, &mut rng)
+            .fit(
+                &x,
+                &y,
+                &mut opt,
+                &SoftmaxCrossEntropy::new(),
+                &cfg,
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(report.epoch_losses.len(), 300);
-        assert!(report.final_train_accuracy > 0.99, "acc {}", report.final_train_accuracy);
+        assert!(
+            report.final_train_accuracy > 0.99,
+            "acc {}",
+            report.final_train_accuracy
+        );
         // Loss should decrease substantially.
         assert!(report.epoch_losses[299] < report.epoch_losses[0] * 0.5);
     }
@@ -357,7 +372,14 @@ mod tests {
         };
         let mut opt = Sgd::new(0.1, 0.0);
         assert!(net
-            .fit(&x, &y, &mut opt, &SoftmaxCrossEntropy::new(), &cfg, &mut rng)
+            .fit(
+                &x,
+                &y,
+                &mut opt,
+                &SoftmaxCrossEntropy::new(),
+                &cfg,
+                &mut rng
+            )
             .is_err());
     }
 

@@ -222,12 +222,12 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let argmax = self
-            .cached_argmax
-            .as_ref()
-            .ok_or_else(|| DnnError::BackwardBeforeForward {
-                layer: self.name.clone(),
-            })?;
+        let argmax =
+            self.cached_argmax
+                .as_ref()
+                .ok_or_else(|| DnnError::BackwardBeforeForward {
+                    layer: self.name.clone(),
+                })?;
         let g = &self.geometry;
         let gv = grad_output.as_slice();
         let mut out = vec![0.0f32; self.cached_batch * g.in_len()];

@@ -19,6 +19,25 @@ pub struct NetworkWeights {
     pub params: Vec<Tensor>,
 }
 
+// Hand-written (de)serialization: the derive above is a no-op under the
+// offline shims (see shims/README.md). Format: `{"params": [tensor, ..]}`.
+impl Serialize for NetworkWeights {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("params".to_string(), self.params.to_value())])
+    }
+}
+
+impl Deserialize for NetworkWeights {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let params_value = value
+            .get("params")
+            .ok_or_else(|| serde::DeError::new("network weights are missing \"params\""))?;
+        Ok(NetworkWeights {
+            params: Vec::<Tensor>::from_value(params_value)?,
+        })
+    }
+}
+
 impl NetworkWeights {
     /// Extracts the current parameters of a network.
     pub fn from_network(network: &mut Sequential) -> Self {
@@ -83,7 +102,8 @@ pub fn save_network_weights<P: AsRef<Path>>(network: &mut Sequential, path: P) -
 /// # Errors
 /// Returns [`DnnError::Serialization`] on I/O, decoding or shape mismatches.
 pub fn load_network_weights<P: AsRef<Path>>(network: &mut Sequential, path: P) -> Result<()> {
-    let json = fs::read_to_string(path).map_err(|e| DnnError::Serialization(format!("read: {e}")))?;
+    let json =
+        fs::read_to_string(path).map_err(|e| DnnError::Serialization(format!("read: {e}")))?;
     let weights: NetworkWeights =
         serde_json::from_str(&json).map_err(|e| DnnError::Serialization(format!("decode: {e}")))?;
     weights.apply_to(network)
@@ -142,7 +162,10 @@ mod tests {
         load_network_weights(&mut b, &path).unwrap();
 
         let x = Tensor::from_vec(vec![0.5, -0.5, 1.0], &[1, 3]).unwrap();
-        assert_eq!(a.predict(&x).unwrap().as_slice(), b.predict(&x).unwrap().as_slice());
+        assert_eq!(
+            a.predict(&x).unwrap().as_slice(),
+            b.predict(&x).unwrap().as_slice()
+        );
         std::fs::remove_file(&path).ok();
     }
 

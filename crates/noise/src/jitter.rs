@@ -13,6 +13,23 @@ use crate::{NoiseError, Result};
 /// Jitter leaves the *number* of spikes unchanged but corrupts *when* they
 /// arrive, so codings that read out timing (phase, TTFS) suffer while rate
 /// coding is untouched.
+///
+/// ```
+/// use nrsnn_noise::JitterNoise;
+/// use nrsnn_snn::{SpikeRaster, SpikeTransform};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), nrsnn_noise::NoiseError> {
+/// let noise = JitterNoise::new(2.0)?;
+/// let mut raster = SpikeRaster::new(1, 64);
+/// raster.set_train(0, vec![10, 20, 30]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let jittered = noise.apply(&raster, &mut rng);
+/// // Spike count is preserved; only the timings move.
+/// assert_eq!(jittered.total_spikes(), 3);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JitterNoise {
     sigma: f64,
@@ -26,7 +43,7 @@ impl JitterNoise {
     /// Returns [`NoiseError::InvalidParameter`] for negative or non-finite
     /// values.
     pub fn new(sigma: f64) -> Result<Self> {
-        if !(sigma >= 0.0) || !sigma.is_finite() {
+        if !sigma.is_finite() || sigma < 0.0 {
             return Err(NoiseError::InvalidParameter(format!(
                 "jitter sigma must be a non-negative finite number, got {sigma}"
             )));

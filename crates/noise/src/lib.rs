@@ -12,7 +12,8 @@
 //!   zero-mean Gaussian with standard deviation `σ`, quantised to integer
 //!   time steps.
 //!
-//! Both implement the [`SpikeTransform`] hook of `nrsnn-snn`, so they can be
+//! Both implement the [`SpikeTransform`](nrsnn_snn::SpikeTransform) hook of
+//! `nrsnn-snn`, so they can be
 //! injected into every layer-to-layer raster during simulation, and both can
 //! be combined with [`CompositeNoise`].
 //!
@@ -42,6 +43,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod composite;
 mod deletion;
@@ -55,7 +57,10 @@ pub use deletion::DeletionNoise;
 pub use error::NoiseError;
 pub use jitter::JitterNoise;
 pub use scaling::WeightScaling;
-pub use sweep::{paper_deletion_probabilities, paper_jitter_intensities, paper_table_deletion_points, paper_table_jitter_points};
+pub use sweep::{
+    paper_deletion_probabilities, paper_jitter_intensities, paper_table_deletion_points,
+    paper_table_jitter_points,
+};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NoiseError>;

@@ -29,7 +29,7 @@ impl WeightScaling {
     /// Returns [`NoiseError::InvalidParameter`] for non-positive or
     /// non-finite factors.
     pub fn with_factor(factor: f32) -> Result<Self> {
-        if !(factor > 0.0) || !factor.is_finite() {
+        if !factor.is_finite() || factor <= 0.0 {
             return Err(NoiseError::InvalidParameter(format!(
                 "weight scale must be positive and finite, got {factor}"
             )));
@@ -83,9 +83,30 @@ mod tests {
 
     #[test]
     fn factor_for_deletion_probability() {
-        assert!((WeightScaling::for_deletion_probability(0.0).unwrap().factor() - 1.0).abs() < 1e-6);
-        assert!((WeightScaling::for_deletion_probability(0.5).unwrap().factor() - 2.0).abs() < 1e-6);
-        assert!((WeightScaling::for_deletion_probability(0.8).unwrap().factor() - 5.0).abs() < 1e-4);
+        assert!(
+            (WeightScaling::for_deletion_probability(0.0)
+                .unwrap()
+                .factor()
+                - 1.0)
+                .abs()
+                < 1e-6
+        );
+        assert!(
+            (WeightScaling::for_deletion_probability(0.5)
+                .unwrap()
+                .factor()
+                - 2.0)
+                .abs()
+                < 1e-6
+        );
+        assert!(
+            (WeightScaling::for_deletion_probability(0.8)
+                .unwrap()
+                .factor()
+                - 5.0)
+                .abs()
+                < 1e-4
+        );
         assert!(WeightScaling::for_deletion_probability(1.0).is_err());
         assert!(WeightScaling::for_deletion_probability(-0.1).is_err());
     }

@@ -48,10 +48,14 @@ mod tests {
     #[test]
     fn table_points_are_subsets_of_the_sweeps() {
         for p in paper_table_deletion_points() {
-            assert!(paper_deletion_probabilities().iter().any(|&x| (x - p).abs() < 1e-9));
+            assert!(paper_deletion_probabilities()
+                .iter()
+                .any(|&x| (x - p).abs() < 1e-9));
         }
         for s in paper_table_jitter_points() {
-            assert!(paper_jitter_intensities().iter().any(|&x| (x - s).abs() < 1e-9));
+            assert!(paper_jitter_intensities()
+                .iter()
+                .any(|&x| (x - s).abs() < 1e-9));
         }
     }
 }

@@ -105,7 +105,10 @@ mod tests {
         let coding = BurstCoding::new();
         for v in [0.125, 0.25, 0.5, 0.75, 1.0] {
             let decoded = coding.decode(&coding.encode(v, &cfg), &cfg);
-            assert!((decoded - v).abs() <= 0.51 / 8.0 + 1e-5, "v {v} decoded {decoded}");
+            assert!(
+                (decoded - v).abs() <= 0.51 / 8.0 + 1e-5,
+                "v {v} decoded {decoded}"
+            );
         }
     }
 

@@ -54,6 +54,23 @@ pub trait NeuralCoding: Send + Sync {
 }
 
 /// Tag identifying a coding scheme (with its structural parameter for TTAS).
+///
+/// ```
+/// use nrsnn_snn::{CodingConfig, CodingKind};
+///
+/// // The four baseline codings of Figs. 2-3, plus the paper's TTAS.
+/// let mut kinds = CodingKind::baselines();
+/// kinds.push(CodingKind::Ttas(5));
+/// assert_eq!(kinds.last().unwrap().label(), "TTAS(5)");
+///
+/// // Every kind round-trips an activation through encode/decode.
+/// let cfg = CodingConfig::new(64, 1.0);
+/// for kind in kinds {
+///     let coding = kind.build();
+///     let decoded = coding.decode(&coding.encode(0.5, &cfg), &cfg);
+///     assert!((decoded - 0.5).abs() < 0.25, "{}: {decoded}", kind.label());
+/// }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CodingKind {
     /// Rate coding.
@@ -236,7 +253,7 @@ mod tests {
         let ttfs = CodingKind::Ttfs.build().encode(value, &cfg).len();
         let ttas = CodingKind::Ttas(5).build().encode(value, &cfg).len();
         assert_eq!(ttfs, 1);
-        assert!(ttas <= 5 && ttas >= 1);
+        assert!((1..=5).contains(&ttas));
         assert!(burst <= 8);
         assert!(rate > burst, "rate {rate} burst {burst}");
         assert!(phase > burst);

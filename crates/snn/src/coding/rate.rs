@@ -37,7 +37,9 @@ impl NeuralCoding for RateCoding {
             return Vec::new();
         }
         // Spread the n spikes evenly over the window.
-        (0..n).map(|k| (k as u64 * t as u64 / n as u64) as u32).collect()
+        (0..n)
+            .map(|k| (k as u64 * t as u64 / n as u64) as u32)
+            .collect()
     }
 
     fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32 {

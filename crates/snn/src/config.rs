@@ -44,15 +44,18 @@ impl CodingConfig {
     /// Returns [`SnnError::InvalidConfig`] for non-positive values.
     pub fn validate(&self) -> Result<()> {
         if self.time_steps == 0 {
-            return Err(SnnError::InvalidConfig("time_steps must be non-zero".to_string()));
+            return Err(SnnError::InvalidConfig(
+                "time_steps must be non-zero".to_string(),
+            ));
         }
-        if !(self.threshold > 0.0) {
+        // `partial_cmp` keeps NaN on the rejection path.
+        if self.threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(SnnError::InvalidConfig(format!(
                 "threshold must be positive, got {}",
                 self.threshold
             )));
         }
-        if !(self.ttfs_tau_fraction > 0.0) {
+        if self.ttfs_tau_fraction.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(SnnError::InvalidConfig(format!(
                 "ttfs_tau_fraction must be positive, got {}",
                 self.ttfs_tau_fraction

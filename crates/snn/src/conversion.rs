@@ -259,7 +259,9 @@ mod tests {
         let snn = convert(&dnn.descriptors(), &scales, &ConversionConfig::default()).unwrap();
         for i in 0..8 {
             let row = probe.row(i).unwrap();
-            let dnn_logits = dnn.forward(&row.reshape(&[1, 4]).unwrap(), Mode::Infer).unwrap();
+            let dnn_logits = dnn
+                .forward(&row.reshape(&[1, 4]).unwrap(), Mode::Infer)
+                .unwrap();
             let snn_logits = snn.analog_forward(row.as_slice()).unwrap();
             let dnn_pred = dnn_logits.argmax();
             let snn_pred = snn_logits

@@ -45,9 +45,9 @@ impl SnnLayer {
     pub fn output_width(&self) -> usize {
         match self {
             SnnLayer::Linear { weights, .. } => weights.dims()[0],
-            SnnLayer::Conv { weights, geometry, .. } => {
-                weights.dims()[0] * geometry.out_positions()
-            }
+            SnnLayer::Conv {
+                weights, geometry, ..
+            } => weights.dims()[0] * geometry.out_positions(),
             SnnLayer::AvgPool { geometry } => geometry.out_len(),
         }
     }
@@ -111,7 +111,8 @@ impl SnnLayer {
                                 for kx in 0..g.window {
                                     let iy = oy * g.stride + ky;
                                     let ix = ox * g.stride + kx;
-                                    acc += input[c * g.in_height * g.in_width + iy * g.in_width + ix];
+                                    acc +=
+                                        input[c * g.in_height * g.in_width + iy * g.in_width + ix];
                                 }
                             }
                             out[c * oh * ow + oy * ow + ox] = acc / area;
@@ -183,7 +184,9 @@ impl SnnNetwork {
     /// widths.
     pub fn new(layers: Vec<SnnLayer>) -> Result<Self> {
         if layers.is_empty() {
-            return Err(SnnError::Conversion("network needs at least one layer".to_string()));
+            return Err(SnnError::Conversion(
+                "network needs at least one layer".to_string(),
+            ));
         }
         for pair in layers.windows(2) {
             if pair[0].output_width() != pair[1].input_width() {
@@ -472,10 +475,22 @@ mod tests {
         for input in [[0.9f32, 0.2], [0.1, 0.8]] {
             let analog_pred = argmax(&net.analog_forward(&input).unwrap());
             let ttfs = net
-                .simulate(&input, &TtfsCoding::new(), &cfg, &IdentityTransform, &mut rng)
+                .simulate(
+                    &input,
+                    &TtfsCoding::new(),
+                    &cfg,
+                    &IdentityTransform,
+                    &mut rng,
+                )
                 .unwrap();
             let ttas = net
-                .simulate(&input, &TtasCoding::new(4), &cfg, &IdentityTransform, &mut rng)
+                .simulate(
+                    &input,
+                    &TtasCoding::new(4),
+                    &cfg,
+                    &IdentityTransform,
+                    &mut rng,
+                )
                 .unwrap();
             assert_eq!(ttfs.predicted, analog_pred);
             assert_eq!(ttas.predicted, analog_pred);
@@ -488,7 +503,13 @@ mod tests {
         let cfg = CodingConfig::new(100, 1.0);
         let mut rng = StdRng::seed_from_u64(2);
         let outcome = net
-            .simulate(&[0.5, 0.5], &RateCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .simulate(
+                &[0.5, 0.5],
+                &RateCoding::new(),
+                &cfg,
+                &IdentityTransform,
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(outcome.spikes_per_layer.len(), 2);
         assert_eq!(
@@ -504,10 +525,22 @@ mod tests {
         let cfg = CodingConfig::new(128, 1.0);
         let mut rng = StdRng::seed_from_u64(3);
         let rate = net
-            .simulate(&[0.8, 0.6], &RateCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .simulate(
+                &[0.8, 0.6],
+                &RateCoding::new(),
+                &cfg,
+                &IdentityTransform,
+                &mut rng,
+            )
             .unwrap();
         let ttfs = net
-            .simulate(&[0.8, 0.6], &TtfsCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .simulate(
+                &[0.8, 0.6],
+                &TtfsCoding::new(),
+                &cfg,
+                &IdentityTransform,
+                &mut rng,
+            )
             .unwrap();
         assert!(
             ttfs.total_spikes * 10 < rate.total_spikes,
@@ -523,7 +556,13 @@ mod tests {
         let cfg = CodingConfig::new(64, 1.0);
         let mut rng = StdRng::seed_from_u64(4);
         assert!(net
-            .simulate(&[0.5], &RateCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .simulate(
+                &[0.5],
+                &RateCoding::new(),
+                &cfg,
+                &IdentityTransform,
+                &mut rng
+            )
             .is_err());
     }
 
@@ -536,7 +575,14 @@ mod tests {
             Tensor::from_vec(vec![0.9, 0.1, 0.1, 0.9, 0.7, 0.3, 0.2, 0.8], &[4, 2]).unwrap();
         let labels = vec![0usize, 1, 0, 1];
         let summary = net
-            .evaluate(&inputs, &labels, &RateCoding::new(), &cfg, &IdentityTransform, &mut rng)
+            .evaluate(
+                &inputs,
+                &labels,
+                &RateCoding::new(),
+                &cfg,
+                &IdentityTransform,
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(summary.samples, 4);
         assert!((summary.accuracy - 1.0).abs() < 1e-6);

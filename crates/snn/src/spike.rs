@@ -70,7 +70,10 @@ impl SpikeRaster {
 
     /// Iterates over `(neuron_index, spike_train)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
-        self.trains.iter().enumerate().map(|(i, t)| (i, t.as_slice()))
+        self.trains
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.as_slice()))
     }
 
     /// Total number of spikes across all neurons.

@@ -75,10 +75,7 @@ mod tests {
             elements: 3,
             expected: 4,
         };
-        assert_eq!(
-            err.to_string(),
-            "data has 3 elements but shape requires 4"
-        );
+        assert_eq!(err.to_string(), "data has 3 elements but shape requires 4");
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub fn uniform<R: Rng>(rng: &mut R, shape: &[usize], low: f32, high: f32) -> Ten
 
 /// Xavier/Glorot uniform initialisation for a dense layer with `fan_in`
 /// inputs and `fan_out` outputs: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier_uniform<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(rng, shape, -a, a)
 }
@@ -35,7 +40,9 @@ pub fn xavier_uniform<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize, fan_o
 pub fn he_normal<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
     let std = (2.0 / fan_in.max(1) as f32).sqrt();
     let len: usize = shape.iter().product();
-    let data: Vec<f32> = (0..len).map(|_| sample_standard_normal(rng) * std).collect();
+    let data: Vec<f32> = (0..len)
+        .map(|_| sample_standard_normal(rng) * std)
+        .collect();
     Tensor::from_vec(data, shape).expect("he_normal: internally consistent shape")
 }
 
@@ -73,7 +80,7 @@ mod tests {
     #[test]
     fn xavier_bound_shrinks_with_fan() {
         let mut rng = StdRng::seed_from_u64(3);
-        let t = xavier_uniform(&mut rng, &[1000], 1000, 1000, );
+        let t = xavier_uniform(&mut rng, &[1000], 1000, 1000);
         let bound = (6.0f32 / 2000.0).sqrt();
         assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
     }
@@ -85,7 +92,10 @@ mod tests {
         let mean = t.mean();
         let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 5000.0;
         // target variance is 2/100 = 0.02
-        assert!((var - 0.02).abs() < 0.005, "variance {var} too far from 0.02");
+        assert!(
+            (var - 0.02).abs() < 0.005,
+            "variance {var} too far from 0.02"
+        );
         assert!(mean.abs() < 0.01);
     }
 

@@ -75,9 +75,7 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if the index rank does not
     /// match or any coordinate is out of range.
     pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
-        if index.len() != self.dims.len()
-            || index.iter().zip(&self.dims).any(|(i, d)| i >= d)
-        {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(i, d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.dims.clone(),

@@ -374,6 +374,32 @@ impl Default for Tensor {
     }
 }
 
+// Hand-written (de)serialization over the shim serde data model (the derive
+// on `Tensor` is a no-op under the offline shims — see shims/README.md).
+// Format: `{"shape": [d0, d1, ..], "data": [..]}`.
+impl Serialize for Tensor {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("shape".to_string(), self.shape.dims().to_value()),
+            ("data".to_string(), self.data.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Tensor {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let shape_value = value
+            .get("shape")
+            .ok_or_else(|| serde::DeError::new("tensor is missing \"shape\""))?;
+        let data_value = value
+            .get("data")
+            .ok_or_else(|| serde::DeError::new("tensor is missing \"data\""))?;
+        let dims = Vec::<usize>::from_value(shape_value)?;
+        let data = Vec::<f32>::from_value(data_value)?;
+        Tensor::from_vec(data, &dims).map_err(|e| serde::DeError::new(e.to_string()))
+    }
+}
+
 impl std::fmt::Display for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Tensor{} [", self.shape)?;

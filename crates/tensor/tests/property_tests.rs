@@ -76,10 +76,10 @@ proptest! {
         let ta = Tensor::from_vec(a.clone(), &[3]).unwrap();
         let tb = Tensor::from_vec(b.clone(), &[5]).unwrap();
         let o = outer(&ta, &tb).unwrap();
-        for i in 0..3 {
+        for (i, av) in a.iter().enumerate() {
             let row = o.row(i).unwrap();
             for (r, bv) in row.as_slice().iter().zip(&b) {
-                prop_assert!((r - a[i] * bv).abs() < 1e-3);
+                prop_assert!((r - av * bv).abs() < 1e-3);
             }
         }
     }

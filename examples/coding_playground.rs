@@ -22,7 +22,10 @@ fn main() -> Result<(), NrsnnError> {
     let jitter = JitterNoise::new(2.0)?;
     let mut rng = StdRng::seed_from_u64(7);
 
-    println!("encoding the activation value {value} over {} time steps\n", cfg.time_steps);
+    println!(
+        "encoding the activation value {value} over {} time steps\n",
+        cfg.time_steps
+    );
     println!(
         "{:<10}{:>8}{:>12}{:>16}{:>16}",
         "coding", "spikes", "clean", "50% deletion", "jitter σ=2"

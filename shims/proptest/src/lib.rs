@@ -1,0 +1,210 @@
+//! Offline shim for the `proptest` crate (see `shims/README.md`).
+//!
+//! Supports the subset used by the workspace's property tests: the
+//! [`proptest!`] macro over functions with `arg in strategy` bindings,
+//! [`Strategy`] implementations for numeric ranges, [`collection::vec`] and
+//! the `prop_assert*` macros. Each property runs [`CASES`] deterministic
+//! cases from a seed derived from the test name (no shrinking).
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #[allow(dead_code)]
+//!     fn squares_are_non_negative(x in -10.0f32..10.0) {
+//!         prop_assert!(x * x >= 0.0);
+//!     }
+//! }
+//! squares_are_non_negative();
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of deterministic cases each property runs.
+pub const CASES: u32 = 64;
+
+/// The RNG driving case generation.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic RNG for a property, seeded from its name so
+/// distinct properties exercise distinct streams.
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a over the test name.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A recipe for generating test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec()`]: an exact `usize` or a
+    /// `Range<usize>` of lengths (mirrors proptest's `SizeRange`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                min: len,
+                max: len + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty length range");
+            SizeRange {
+                min: range.start,
+                max: range.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty length range");
+            SizeRange {
+                min: *range.start(),
+                max: *range.end() + 1,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` (an exact `usize`
+    /// or a range) with elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]`-style function running [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::rng_for(stringify!($name));
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Shim for `prop_assert!`: plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Shim for `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Shim for `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn floats_stay_in_range(x in -5.0f32..5.0) {
+            prop_assert!((-5.0..5.0).contains(&x));
+        }
+
+        #[test]
+        fn vectors_have_requested_length(v in crate::collection::vec(0.0f64..1.0, 7)) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn multiple_bindings_work(a in 0usize..10, b in 10usize..20) {
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        use rand::Rng;
+        let mut a = crate::rng_for("alpha");
+        let mut b = crate::rng_for("beta");
+        let xs: Vec<u32> = (0..4).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+}

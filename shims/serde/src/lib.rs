@@ -1,0 +1,179 @@
+//! Offline shim for the `serde` crate (see `shims/README.md`).
+//!
+//! Instead of serde's serializer/deserializer visitor machinery, this shim
+//! (de)serializes through a single JSON-like [`Value`] data model:
+//!
+//! * [`Serialize`] — convert `self` into a [`Value`];
+//! * [`Deserialize`] — reconstruct `Self` from a [`Value`].
+//!
+//! The derive macros re-exported here are **no-ops** (see the
+//! `serde_derive` shim); persisted types implement the traits by hand.
+//!
+//! ```
+//! use serde::{Serialize, Value};
+//!
+//! let v = vec![1.0f32, 2.0].to_value();
+//! assert_eq!(v, Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]));
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::Value;
+
+/// Error produced when a [`Value`] cannot be converted into the requested
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the shim's [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the shim's [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the value has the wrong shape.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+impl_serialize_num!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, got {value:?}")))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected string, got {value:?}")))
+    }
+}
+
+macro_rules! impl_deserialize_num {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| DeError::new(format!("expected number, got {value:?}")))
+            }
+        }
+    )*};
+}
+impl_deserialize_num!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {value:?}")))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}

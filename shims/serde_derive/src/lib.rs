@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive` (see `shims/README.md`).
+//!
+//! Both derives are deliberate **no-ops**: `#[derive(Serialize, Deserialize)]`
+//! parses and compiles but generates no trait impl. Types that are actually
+//! persisted implement the shim `serde` traits by hand next to their
+//! definition; every other derive in the tree is inert metadata that keeps
+//! the source identical to what it would be with the real serde.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -4,4 +4,6 @@
 //! The actual library API lives in the [`nrsnn`] crate (re-exported here for
 //! convenience).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use nrsnn;

@@ -40,14 +40,7 @@ fn dnn_to_snn_conversion_preserves_most_accuracy_for_every_coding() {
         CodingKind::Ttas(5),
     ] {
         let summary = pipeline
-            .evaluate_snn(
-                kind,
-                96,
-                &IdentityTransform,
-                &WeightScaling::none(),
-                24,
-                0,
-            )
+            .evaluate_snn(kind, 96, &IdentityTransform, &WeightScaling::none(), 24, 0)
             .expect("clean evaluation");
         assert!(
             summary.accuracy >= dnn_acc - 0.3,
@@ -164,7 +157,14 @@ fn rate_coding_is_unaffected_by_jitter_while_phase_degrades() {
         )
         .expect("phase clean");
     let phase_jittered = pipeline
-        .evaluate_snn(CodingKind::Phase, 64, &jitter, &WeightScaling::none(), 32, 3)
+        .evaluate_snn(
+            CodingKind::Phase,
+            64,
+            &jitter,
+            &WeightScaling::none(),
+            32,
+            3,
+        )
         .expect("phase jitter");
     assert!(
         phase_jittered.accuracy < phase_clean.accuracy,
@@ -216,7 +216,10 @@ fn spike_counts_follow_the_paper_efficiency_ordering() {
     let ttfs = count(CodingKind::Ttfs);
     let ttas = count(CodingKind::Ttas(5));
     assert!(ttfs < ttas, "ttfs {ttfs} < ttas {ttas}");
-    assert!(ttas < burst * 2.0, "ttas {ttas} should be close to burst {burst}");
+    assert!(
+        ttas < burst * 2.0,
+        "ttas {ttas} should be close to burst {burst}"
+    );
     assert!(burst < rate, "burst {burst} < rate {rate}");
     assert!(rate / ttfs > 5.0, "rate/ttfs ratio {}", rate / ttfs);
 }
