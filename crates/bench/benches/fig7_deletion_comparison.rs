@@ -31,8 +31,43 @@ fn regenerate_figure() {
     );
 }
 
+/// Serial vs parallel wall-clock on the Fig. 7 grid (baselines + TTAS(5),
+/// Table I's deletion points, weight scaling on).  The two runs produce
+/// bit-identical points; only throughput differs.  On a multi-core host the
+/// 4-thread run should be ≥1.5× the serial one.
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let pipeline = cifar10_pipeline();
+    let sweep = bench_sweep_config();
+    let levels = nrsnn_noise::paper_table_deletion_points();
+    let mut codings = CodingKind::baselines();
+    codings.push(CodingKind::Ttas(5));
+
+    let run = |parallel: ParallelConfig| {
+        DeletionSweep::new(&codings, &levels)
+            .weight_scaling(true)
+            .config(sweep)
+            .parallel(parallel)
+            .run(pipeline)
+            .expect("fig7 scaling sweep")
+    };
+    assert_eq!(
+        run(ParallelConfig::serial()),
+        run(ParallelConfig::with_threads(4)),
+        "parallel sweep must be bit-identical to serial"
+    );
+
+    let mut group = c.benchmark_group("fig7_sweep_scaling");
+    group.sample_size(2);
+    group.bench_function("sweep_serial", |b| b.iter(|| run(ParallelConfig::serial())));
+    group.bench_function("sweep_parallel_4", |b| {
+        b.iter(|| run(ParallelConfig::with_threads(4)))
+    });
+    group.finish();
+}
+
 fn bench(c: &mut Criterion) {
     regenerate_figure();
+    bench_sweep_scaling(c);
 
     let pipeline = cifar10_pipeline();
     let scaling = WeightScaling::for_deletion_probability(0.5).expect("ws");

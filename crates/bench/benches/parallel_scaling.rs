@@ -1,0 +1,95 @@
+//! Thread-scaling study of the sweep execution engine.
+//!
+//! Runs the Table I MNIST-like deletion grid (5 codings × 4 levels ×
+//! `eval_samples` samples) at 1, 2, 4 and 8 worker threads, verifies that
+//! every run returns bit-identical [`SweepPoint`]s, and reports throughput
+//! (grid cells per second) and speedup over the serial reference.
+//!
+//! ```text
+//! cargo bench -p nrsnn-bench --bench parallel_scaling
+//! NRSNN_THREADS=4 cargo bench -p nrsnn-bench --bench parallel_scaling
+//! ```
+//!
+//! Expected shape on an N-core host: near-linear speedup up to N threads
+//! (≥1.5× at 4 threads on ≥2 physical cores), flat beyond.  On a single
+//! core all rows time alike — the engine never pays for parallelism with
+//! changed results, only with scheduling overhead in the few-percent range.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, mnist_pipeline};
+use nrsnn_noise::paper_table_deletion_points;
+
+fn grid_codings() -> Vec<CodingKind> {
+    let mut codings = CodingKind::baselines();
+    codings.push(CodingKind::Ttas(5));
+    codings
+}
+
+fn run_grid(parallel: ParallelConfig) -> Vec<SweepPoint> {
+    DeletionSweep::new(&grid_codings(), &paper_table_deletion_points())
+        .weight_scaling(true)
+        .config(bench_sweep_config())
+        .parallel(parallel)
+        .run(mnist_pipeline())
+        .expect("scaling sweep")
+}
+
+fn scaling_report() {
+    let sweep = bench_sweep_config();
+    let cells = grid_codings().len() * paper_table_deletion_points().len() * sweep.eval_samples;
+
+    println!("\n==== Sweep engine thread scaling (Table I grid, {cells} grid cells) ====");
+    println!(
+        "host parallelism: {} | NRSNN_THREADS: {}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        std::env::var("NRSNN_THREADS").unwrap_or_else(|_| "unset".to_string()),
+    );
+
+    let reference = run_grid(ParallelConfig::serial());
+    let mut serial_secs = None;
+    println!(
+        "{:<10}{:>12}{:>16}{:>10}",
+        "threads", "seconds", "cells/s", "speedup"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let points = run_grid(ParallelConfig::with_threads(threads));
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(
+            points, reference,
+            "{threads}-thread run diverged from serial"
+        );
+        let serial = *serial_secs.get_or_insert(secs);
+        println!(
+            "{threads:<10}{secs:>12.3}{:>16.1}{:>9.2}x",
+            cells as f64 / secs,
+            serial / secs,
+        );
+    }
+    println!("all runs bit-identical to the serial reference ✓\n");
+}
+
+fn bench(c: &mut Criterion) {
+    scaling_report();
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(2);
+    group.bench_function("table1_grid_serial", |b| {
+        b.iter(|| run_grid(ParallelConfig::serial()))
+    });
+    group.bench_function("table1_grid_auto", |b| {
+        b.iter(|| run_grid(ParallelConfig::auto()))
+    });
+    group.bench_function("table1_grid_4_threads", |b| {
+        b.iter(|| run_grid(ParallelConfig::with_threads(4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

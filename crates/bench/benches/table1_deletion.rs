@@ -36,8 +36,42 @@ fn regenerate_table() {
     println!("\n{}", format_table1(&rows, &levels));
 }
 
+/// Serial vs parallel wall-clock on the Table I MNIST-like grid.  Results
+/// are bit-identical; on a multi-core host the 4-thread run should be
+/// ≥1.5× the serial one.
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let pipeline = mnist_pipeline();
+    let sweep = bench_sweep_config();
+    let levels = paper_table_deletion_points();
+    let mut codings = CodingKind::baselines();
+    codings.push(CodingKind::Ttas(5));
+
+    let run = |parallel: ParallelConfig| {
+        DeletionSweep::new(&codings, &levels)
+            .weight_scaling(true)
+            .config(sweep)
+            .parallel(parallel)
+            .run(pipeline)
+            .expect("table1 scaling sweep")
+    };
+    assert_eq!(
+        run(ParallelConfig::serial()),
+        run(ParallelConfig::with_threads(4)),
+        "parallel sweep must be bit-identical to serial"
+    );
+
+    let mut group = c.benchmark_group("table1_sweep_scaling");
+    group.sample_size(2);
+    group.bench_function("sweep_serial", |b| b.iter(|| run(ParallelConfig::serial())));
+    group.bench_function("sweep_parallel_4", |b| {
+        b.iter(|| run(ParallelConfig::with_threads(4)))
+    });
+    group.finish();
+}
+
 fn bench(c: &mut Criterion) {
     regenerate_table();
+    bench_sweep_scaling(c);
 
     let pipeline = mnist_pipeline();
     let scaling = WeightScaling::for_deletion_probability(0.5).expect("ws");

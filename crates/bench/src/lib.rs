@@ -9,6 +9,12 @@
 //!
 //! The benches share the cached pipelines below so the expensive DNN
 //! training happens once per dataset per bench binary.
+//!
+//! The `fig7_deletion_comparison` and `table1_deletion` benches additionally
+//! time their full sweep grid serially vs on a 4-thread pool, and the
+//! dedicated `parallel_scaling` bench sweeps the thread count (1/2/4/8) and
+//! prints a cells-per-second scaling table — both assert the parallel
+//! results are bit-identical to the serial reference before timing.
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

@@ -1,0 +1,195 @@
+//! The parallel evaluation engine behind every sweep and robust-SNN
+//! evaluation.
+//!
+//! All accuracy numbers in this crate funnel through two entry points:
+//!
+//! * [`evaluate_network`] — one (network, coding, noise) point scored over a
+//!   set of samples;
+//! * [`run_grid`] — a full sweep grid of such points, flattened into one
+//!   `(point × sample)` task list so the pool load-balances across the whole
+//!   grid instead of synchronising at point boundaries.
+//!
+//! Determinism contract: sample `s` is always simulated with a fresh RNG
+//! seeded `derive_seed(sweep_seed, s)` — a pure function of the sweep seed
+//! and the sample index.  Reductions are integer sums (correct counts, spike
+//! counts) folded in index order, so the produced [`SweepPoint`]s and
+//! [`EvaluationSummary`]s are bit-identical for every thread count and batch
+//! size, and a point evaluated alone equals the same point inside a grid.
+//!
+//! Using the *same* per-sample stream for every grid point is deliberate
+//! beyond reproducibility: it applies common random numbers across points,
+//! so accuracy differences between codings or noise levels are not inflated
+//! by noise-realisation variance.
+
+use nrsnn_data::LabelledSet;
+use nrsnn_noise::WeightScaling;
+use nrsnn_runtime::{derive_seed, try_parallel_map, ParallelConfig};
+use nrsnn_snn::{
+    CodingConfig, CodingKind, EvaluationSummary, NeuralCoding, SnnNetwork, SpikeTransform,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiment::SweepPoint;
+use crate::{NrsnnError, Result, TrainedPipeline};
+
+/// One point of a sweep grid before it has been measured.
+pub(crate) struct GridPointSpec {
+    /// Coding simulated at this point.
+    pub coding: CodingKind,
+    /// Noise level recorded in the resulting [`SweepPoint`].
+    pub noise_level: f64,
+    /// The sweep-level weight-scaling flag recorded in the result.
+    pub weight_scaled: bool,
+    /// Weight scaling folded into the converted network.
+    pub scaling: WeightScaling,
+    /// Noise model injected into every transmitted raster.
+    pub noise: Box<dyn SpikeTransform>,
+}
+
+/// Scores one converted network under one coding and noise model.
+///
+/// This is the serial path and the parallel path in one: the per-sample
+/// tasks are identical, only the worker count from `parallel` differs.
+pub(crate) fn evaluate_network(
+    network: &SnnNetwork,
+    coding: &dyn NeuralCoding,
+    cfg: &CodingConfig,
+    noise: &dyn SpikeTransform,
+    subset: &LabelledSet,
+    seed: u64,
+    parallel: &ParallelConfig,
+) -> Result<EvaluationSummary> {
+    let indices: Vec<usize> = (0..subset.labels.len()).collect();
+    let outcomes = try_parallel_map(parallel, &indices, |_, &sample| {
+        simulate_sample(network, coding, cfg, noise, subset, sample, seed)
+    })?;
+    Ok(reduce_summary(&outcomes))
+}
+
+/// Runs a full sweep grid: converts each distinct weight scaling once, fans
+/// the flattened `(point × sample)` task list over the pool, reduces per
+/// point, and returns the points sorted by `(noise level, coding)`.
+pub(crate) fn run_grid(
+    pipeline: &TrainedPipeline,
+    specs: &[GridPointSpec],
+    time_steps: u32,
+    eval_samples: usize,
+    seed: u64,
+    parallel: &ParallelConfig,
+) -> Result<Vec<SweepPoint>> {
+    let subset = pipeline.test_subset(eval_samples)?;
+    let samples = subset.labels.len();
+
+    // The converted network depends only on the scaling factor, not on the
+    // coding or noise model, so convert each distinct scaling exactly once
+    // (the old serial path reconverted per point).  Conversion is itself
+    // deterministic, hence safe to fan out too.
+    let mut scalings: Vec<WeightScaling> = Vec::new();
+    let mut network_of_spec: Vec<usize> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let slot = scalings
+            .iter()
+            .position(|&s| s == spec.scaling)
+            .unwrap_or_else(|| {
+                scalings.push(spec.scaling);
+                scalings.len() - 1
+            });
+        network_of_spec.push(slot);
+    }
+    let networks = try_parallel_map(parallel, &scalings, |_, scaling| pipeline.to_snn(scaling))?;
+
+    // Codings and their configs are cheap; build them per point up front so
+    // the hot tasks only borrow.
+    let codings: Vec<Box<dyn NeuralCoding>> = specs.iter().map(|s| s.coding.build()).collect();
+    let cfgs: Vec<CodingConfig> = specs
+        .iter()
+        .map(|s| pipeline.coding_config(s.coding, time_steps))
+        .collect();
+
+    // One task per (point, sample) cell of the grid.
+    let tasks: Vec<usize> = (0..specs.len() * samples).collect();
+    let outcomes = try_parallel_map(parallel, &tasks, |_, &task| {
+        let (point, sample) = (task / samples, task % samples);
+        simulate_sample(
+            &networks[network_of_spec[point]],
+            codings[point].as_ref(),
+            &cfgs[point],
+            specs[point].noise.as_ref(),
+            &subset,
+            sample,
+            seed,
+        )
+    })?;
+
+    let mut points = Vec::with_capacity(specs.len());
+    for (point, spec) in specs.iter().enumerate() {
+        let summary = reduce_summary(&outcomes[point * samples..(point + 1) * samples]);
+        points.push(SweepPoint {
+            coding: spec.coding,
+            weight_scaled: spec.weight_scaled,
+            noise_level: spec.noise_level,
+            accuracy_percent: summary.accuracy_percent(),
+            mean_spikes: summary.mean_spikes_per_sample,
+        });
+    }
+    sort_sweep_points(&mut points);
+    Ok(points)
+}
+
+/// Sorts sweep points by `(noise level, coding, weight scaling)` — the
+/// canonical result order, independent of both grid declaration order and
+/// task completion order.
+pub(crate) fn sort_sweep_points(points: &mut [SweepPoint]) {
+    points.sort_by(|a, b| {
+        a.noise_level
+            .partial_cmp(&b.noise_level)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.coding.order_index().cmp(&b.coding.order_index()))
+            .then_with(|| a.weight_scaled.cmp(&b.weight_scaled))
+    });
+}
+
+/// Outcome of one simulated sample: (classified correctly, spikes emitted).
+type SampleOutcome = (bool, usize);
+
+fn simulate_sample(
+    network: &SnnNetwork,
+    coding: &dyn NeuralCoding,
+    cfg: &CodingConfig,
+    noise: &dyn SpikeTransform,
+    subset: &LabelledSet,
+    sample: usize,
+    seed: u64,
+) -> Result<SampleOutcome> {
+    let row = subset.inputs.row(sample)?;
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, sample as u64));
+    let outcome = network.simulate(row.as_slice(), coding, cfg, noise, &mut rng)?;
+    Ok((
+        outcome.predicted == subset.labels[sample],
+        outcome.total_spikes,
+    ))
+}
+
+fn reduce_summary(outcomes: &[SampleOutcome]) -> EvaluationSummary {
+    let correct = outcomes.iter().filter(|(ok, _)| *ok).count();
+    let total_spikes: usize = outcomes.iter().map(|(_, spikes)| spikes).sum();
+    let samples = outcomes.len().max(1);
+    EvaluationSummary {
+        accuracy: correct as f32 / samples as f32,
+        mean_spikes_per_sample: total_spikes as f32 / samples as f32,
+        total_spikes,
+        samples: outcomes.len(),
+    }
+}
+
+// Compile-time guarantees that the types crossing the pool boundary may do
+// so; a regression here (e.g. an Rc sneaking into a noise model) fails the
+// build instead of the build of a downstream user.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<dyn SpikeTransform>();
+    assert_send_sync::<dyn NeuralCoding>();
+    assert_send_sync::<SnnNetwork>();
+    assert_send_sync::<NrsnnError>();
+};

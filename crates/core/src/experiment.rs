@@ -5,11 +5,27 @@
 //! [`SweepPoint`]s, which the [`crate::report`] module renders into the
 //! paper's figure series and tables.  Each point is deterministic given the
 //! sweep seed.
+//!
+//! ## Execution model
+//!
+//! A sweep is a `(coding × noise level × sample)` grid of independent SNN
+//! simulations.  The [`DeletionSweep`] and [`JitterSweep`] builders fan that
+//! grid out over the work-stealing pool from `nrsnn-runtime`; the
+//! [`deletion_sweep`] / [`jitter_sweep`] free functions are shorthands that
+//! use [`ParallelConfig::auto`] (all cores, or `NRSNN_THREADS` if set).
+//! Every sample draws from its own seed-derived RNG stream, so **results
+//! are bit-identical for every thread count** — `threads = 1` is the
+//! reference serial path, not a different algorithm.
+//!
+//! Returned points are sorted by `(noise level, coding)` regardless of grid
+//! declaration order or task completion order.
 
 use nrsnn_noise::{DeletionNoise, JitterNoise, WeightScaling};
+use nrsnn_runtime::ParallelConfig;
 use nrsnn_snn::{CodingKind, IdentityTransform, SpikeTransform};
 use serde::{Deserialize, Serialize};
 
+use crate::exec::{run_grid, GridPointSpec};
 use crate::{NrsnnError, Result, TrainedPipeline};
 
 /// Shared sweep parameters.
@@ -90,11 +106,183 @@ fn noise_for_jitter(sigma: f64) -> Result<Box<dyn SpikeTransform>> {
     }
 }
 
-/// Sweeps spike-deletion probabilities for each coding (Figs. 2, 4, 7 and
-/// Table I).
+/// Builder for a spike-deletion sweep (Figs. 2, 4, 7 and Table I).
 ///
-/// When `weight_scaling` is `true`, each noise level uses the matching
-/// compensation factor `C = 1/(1−p)`, mirroring the paper's WS rows.
+/// ```no_run
+/// use nrsnn::prelude::*;
+///
+/// # fn main() -> Result<(), nrsnn::NrsnnError> {
+/// let pipeline = TrainedPipeline::build(&PipelineConfig::mnist_small())?;
+/// let points = DeletionSweep::new(&CodingKind::baselines(), &[0.0, 0.2, 0.5])
+///     .weight_scaling(true)
+///     .config(SweepConfig::default())
+///     .parallel(ParallelConfig::with_threads(4))
+///     .run(&pipeline)?;
+/// assert_eq!(points.len(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeletionSweep {
+    codings: Vec<CodingKind>,
+    probabilities: Vec<f64>,
+    weight_scaling: bool,
+    config: SweepConfig,
+    parallel: ParallelConfig,
+}
+
+impl DeletionSweep {
+    /// Creates a sweep over the given codings and deletion probabilities
+    /// (no weight scaling, default [`SweepConfig`], auto parallelism).
+    pub fn new(codings: &[CodingKind], probabilities: &[f64]) -> Self {
+        DeletionSweep {
+            codings: codings.to_vec(),
+            probabilities: probabilities.to_vec(),
+            weight_scaling: false,
+            config: SweepConfig::default(),
+            parallel: ParallelConfig::auto(),
+        }
+    }
+
+    /// Enables the paper's weight-scaling compensation: each noise level `p`
+    /// uses the matching factor `C = 1/(1−p)`.
+    #[must_use]
+    pub fn weight_scaling(mut self, enabled: bool) -> Self {
+        self.weight_scaling = enabled;
+        self
+    }
+
+    /// Sets the shared sweep parameters (window, sample count, seed).
+    #[must_use]
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets how the `(coding × probability × sample)` grid is distributed
+    /// over worker threads.  Results do not depend on this choice.
+    #[must_use]
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Runs the sweep, returning one [`SweepPoint`] per grid point sorted by
+    /// `(noise level, coding)`.
+    ///
+    /// # Errors
+    /// Returns [`NrsnnError::InvalidConfig`] for an empty coding list and
+    /// propagates conversion/simulation errors.
+    pub fn run(&self, pipeline: &TrainedPipeline) -> Result<Vec<SweepPoint>> {
+        self.config.validate()?;
+        if self.codings.is_empty() {
+            return Err(NrsnnError::InvalidConfig("no codings selected".to_string()));
+        }
+        let mut specs = Vec::with_capacity(self.codings.len() * self.probabilities.len());
+        for &coding in &self.codings {
+            for &p in &self.probabilities {
+                let scaling = if self.weight_scaling && p > 0.0 && p < 1.0 {
+                    WeightScaling::for_deletion_probability(p)?
+                } else {
+                    WeightScaling::none()
+                };
+                specs.push(GridPointSpec {
+                    coding,
+                    noise_level: p,
+                    weight_scaled: self.weight_scaling,
+                    scaling,
+                    noise: noise_for_deletion(p)?,
+                });
+            }
+        }
+        run_grid(
+            pipeline,
+            &specs,
+            self.config.time_steps,
+            self.config.eval_samples,
+            self.config.seed,
+            &self.parallel,
+        )
+    }
+}
+
+/// Builder for a spike-jitter sweep (Figs. 3, 6, 8 and Table II).  Jitter
+/// does not remove charge, so no weight scaling is applied (matching the
+/// paper).
+#[derive(Debug, Clone)]
+pub struct JitterSweep {
+    codings: Vec<CodingKind>,
+    sigmas: Vec<f64>,
+    config: SweepConfig,
+    parallel: ParallelConfig,
+}
+
+impl JitterSweep {
+    /// Creates a sweep over the given codings and jitter intensities
+    /// (default [`SweepConfig`], auto parallelism).
+    pub fn new(codings: &[CodingKind], sigmas: &[f64]) -> Self {
+        JitterSweep {
+            codings: codings.to_vec(),
+            sigmas: sigmas.to_vec(),
+            config: SweepConfig::default(),
+            parallel: ParallelConfig::auto(),
+        }
+    }
+
+    /// Sets the shared sweep parameters (window, sample count, seed).
+    #[must_use]
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets how the `(coding × sigma × sample)` grid is distributed over
+    /// worker threads.  Results do not depend on this choice.
+    #[must_use]
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Runs the sweep, returning one [`SweepPoint`] per grid point sorted by
+    /// `(noise level, coding)`.
+    ///
+    /// # Errors
+    /// Returns [`NrsnnError::InvalidConfig`] for an empty coding list and
+    /// propagates conversion/simulation errors.
+    pub fn run(&self, pipeline: &TrainedPipeline) -> Result<Vec<SweepPoint>> {
+        self.config.validate()?;
+        if self.codings.is_empty() {
+            return Err(NrsnnError::InvalidConfig("no codings selected".to_string()));
+        }
+        let mut specs = Vec::with_capacity(self.codings.len() * self.sigmas.len());
+        for &coding in &self.codings {
+            for &sigma in &self.sigmas {
+                specs.push(GridPointSpec {
+                    coding,
+                    noise_level: sigma,
+                    weight_scaled: false,
+                    scaling: WeightScaling::none(),
+                    noise: noise_for_jitter(sigma)?,
+                });
+            }
+        }
+        run_grid(
+            pipeline,
+            &specs,
+            self.config.time_steps,
+            self.config.eval_samples,
+            self.config.seed,
+            &self.parallel,
+        )
+    }
+}
+
+/// Sweeps spike-deletion probabilities for each coding (Figs. 2, 4, 7 and
+/// Table I) on an auto-sized thread pool.
+///
+/// Shorthand for [`DeletionSweep`] with [`ParallelConfig::auto`]; use the
+/// builder to pin thread count or batch size.
 ///
 /// # Errors
 /// Returns [`NrsnnError::InvalidConfig`] for an empty coding list and
@@ -106,42 +294,17 @@ pub fn deletion_sweep(
     weight_scaling: bool,
     config: &SweepConfig,
 ) -> Result<Vec<SweepPoint>> {
-    config.validate()?;
-    if codings.is_empty() {
-        return Err(NrsnnError::InvalidConfig("no codings selected".to_string()));
-    }
-    let mut points = Vec::with_capacity(codings.len() * probabilities.len());
-    for &coding in codings {
-        for &p in probabilities {
-            let scaling = if weight_scaling && p > 0.0 && p < 1.0 {
-                WeightScaling::for_deletion_probability(p)?
-            } else {
-                WeightScaling::none()
-            };
-            let noise = noise_for_deletion(p)?;
-            let summary = pipeline.evaluate_snn(
-                coding,
-                config.time_steps,
-                noise.as_ref(),
-                &scaling,
-                config.eval_samples,
-                config.seed,
-            )?;
-            points.push(SweepPoint {
-                coding,
-                weight_scaled: weight_scaling,
-                noise_level: p,
-                accuracy_percent: summary.accuracy_percent(),
-                mean_spikes: summary.mean_spikes_per_sample,
-            });
-        }
-    }
-    Ok(points)
+    DeletionSweep::new(codings, probabilities)
+        .weight_scaling(weight_scaling)
+        .config(*config)
+        .run(pipeline)
 }
 
 /// Sweeps spike-jitter intensities for each coding (Figs. 3, 6, 8 and
-/// Table II).  Jitter does not remove charge, so no weight scaling is
-/// applied (matching the paper).
+/// Table II) on an auto-sized thread pool.
+///
+/// Shorthand for [`JitterSweep`] with [`ParallelConfig::auto`]; use the
+/// builder to pin thread count or batch size.
 ///
 /// # Errors
 /// Returns [`NrsnnError::InvalidConfig`] for an empty coding list and
@@ -152,32 +315,9 @@ pub fn jitter_sweep(
     sigmas: &[f64],
     config: &SweepConfig,
 ) -> Result<Vec<SweepPoint>> {
-    config.validate()?;
-    if codings.is_empty() {
-        return Err(NrsnnError::InvalidConfig("no codings selected".to_string()));
-    }
-    let mut points = Vec::with_capacity(codings.len() * sigmas.len());
-    for &coding in codings {
-        for &sigma in sigmas {
-            let noise = noise_for_jitter(sigma)?;
-            let summary = pipeline.evaluate_snn(
-                coding,
-                config.time_steps,
-                noise.as_ref(),
-                &WeightScaling::none(),
-                config.eval_samples,
-                config.seed,
-            )?;
-            points.push(SweepPoint {
-                coding,
-                weight_scaled: false,
-                noise_level: sigma,
-                accuracy_percent: summary.accuracy_percent(),
-                mean_spikes: summary.mean_spikes_per_sample,
-            });
-        }
-    }
-    Ok(points)
+    JitterSweep::new(codings, sigmas)
+        .config(*config)
+        .run(pipeline)
 }
 
 /// Extracts the series (noise level, accuracy) for one coding from a sweep,
@@ -305,6 +445,81 @@ mod tests {
             mean_spikes: 5.0,
         };
         assert_eq!(p.method_label(), "TTAS(5)+WS");
+    }
+
+    #[test]
+    fn sweeps_are_bit_identical_across_thread_counts() {
+        let pipeline = tiny_pipeline();
+        let codings = [CodingKind::Rate, CodingKind::Ttfs, CodingKind::Ttas(3)];
+        let levels = [0.0, 0.3, 0.6];
+
+        let deletion = |parallel: ParallelConfig| {
+            DeletionSweep::new(&codings, &levels)
+                .weight_scaling(true)
+                .config(tiny_sweep())
+                .parallel(parallel)
+                .run(&pipeline)
+                .unwrap()
+        };
+        let serial = deletion(ParallelConfig::serial());
+        let threaded = deletion(ParallelConfig::with_threads(4));
+        let tiny_batches = deletion(ParallelConfig::with_threads(4).with_batch_size(1));
+        assert_eq!(serial, threaded);
+        assert_eq!(serial, tiny_batches);
+
+        let jitter = |parallel: ParallelConfig| {
+            JitterSweep::new(&codings, &[0.0, 1.5])
+                .config(tiny_sweep())
+                .parallel(parallel)
+                .run(&pipeline)
+                .unwrap()
+        };
+        assert_eq!(
+            jitter(ParallelConfig::serial()),
+            jitter(ParallelConfig::with_threads(4))
+        );
+    }
+
+    #[test]
+    fn free_functions_match_the_serial_builder() {
+        // The auto-parallel shorthand must reproduce the serial reference
+        // bit for bit, whatever thread count the host machine resolves to.
+        let pipeline = tiny_pipeline();
+        let codings = [CodingKind::Rate, CodingKind::Ttfs];
+        let auto = deletion_sweep(&pipeline, &codings, &[0.0, 0.5], false, &tiny_sweep()).unwrap();
+        let serial = DeletionSweep::new(&codings, &[0.0, 0.5])
+            .config(tiny_sweep())
+            .parallel(ParallelConfig::serial())
+            .run(&pipeline)
+            .unwrap();
+        assert_eq!(auto, serial);
+    }
+
+    #[test]
+    fn sweep_points_are_sorted_by_noise_level_then_coding() {
+        let pipeline = tiny_pipeline();
+        // Codings and levels deliberately declared out of order.
+        let points = deletion_sweep(
+            &pipeline,
+            &[CodingKind::Ttas(3), CodingKind::Rate],
+            &[0.5, 0.0],
+            false,
+            &tiny_sweep(),
+        )
+        .unwrap();
+        let keys: Vec<(f64, (u8, u32))> = points
+            .iter()
+            .map(|p| (p.noise_level, p.coding.order_index()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (0.0, CodingKind::Rate.order_index()),
+                (0.0, CodingKind::Ttas(3).order_index()),
+                (0.5, CodingKind::Rate.order_index()),
+                (0.5, CodingKind::Ttas(3).order_index()),
+            ]
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! 5. regenerate the paper's figures and tables — [`experiment`] and
 //!    [`report`].
 //!
+//! Sweeps and evaluations fan their `(coding × noise level × sample)` grids
+//! out over the work-stealing pool from `nrsnn-runtime`; see *Parallel
+//! sweeps* below and `docs/ARCHITECTURE.md` for the execution model.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -44,11 +48,44 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Parallel sweeps
+//!
+//! The sweep builders distribute their full evaluation grid over a
+//! work-stealing thread pool.  Because every sample is simulated with its
+//! own seed-derived RNG stream, the parallel result is **bit-identical** to
+//! the single-threaded reference — thread count is purely a throughput
+//! knob (settable per sweep, or globally via the `NRSNN_THREADS`
+//! environment variable):
+//!
+//! ```
+//! use nrsnn::prelude::*;
+//!
+//! # fn main() -> Result<(), nrsnn::NrsnnError> {
+//! # let mut config = PipelineConfig::mnist_small();
+//! # config.dataset = config.dataset.with_samples(48, 16);
+//! # config.epochs = 2;
+//! let pipeline = TrainedPipeline::build(&config)?;
+//! let sweep = SweepConfig { time_steps: 32, eval_samples: 8, seed: 7 };
+//!
+//! let run = |parallel: ParallelConfig| {
+//!     DeletionSweep::new(&[CodingKind::Ttfs, CodingKind::Rate], &[0.0, 0.5])
+//!         .config(sweep)
+//!         .parallel(parallel)
+//!         .run(&pipeline)
+//! };
+//! let serial = run(ParallelConfig::serial())?;
+//! let parallel = run(ParallelConfig::with_threads(2))?;
+//! assert_eq!(serial, parallel);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod error;
+mod exec;
 pub mod experiment;
 mod model;
 mod pipeline;
@@ -57,6 +94,7 @@ mod robust;
 
 pub use error::NrsnnError;
 pub use model::{build_model, ModelKind};
+pub use nrsnn_runtime::ParallelConfig;
 pub use pipeline::{PipelineConfig, TrainedPipeline};
 pub use robust::{RobustSnn, RobustSnnBuilder};
 
@@ -65,10 +103,13 @@ pub type Result<T> = std::result::Result<T, NrsnnError>;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::experiment::{deletion_sweep, jitter_sweep, SweepConfig, SweepPoint};
+    pub use crate::experiment::{
+        deletion_sweep, jitter_sweep, DeletionSweep, JitterSweep, SweepConfig, SweepPoint,
+    };
     pub use crate::report::{
         format_sweep_table, format_table1, format_table2, Table1Row, Table2Row,
     };
+    pub use crate::ParallelConfig;
     pub use crate::{
         build_model, ModelKind, NrsnnError, PipelineConfig, RobustSnn, RobustSnnBuilder,
         TrainedPipeline,

@@ -3,6 +3,7 @@
 use nrsnn_data::{DatasetSpec, LabelledSet, SyntheticDataset};
 use nrsnn_dnn::{Adam, LayerDescriptor, Sequential, SoftmaxCrossEntropy, TrainConfig};
 use nrsnn_noise::WeightScaling;
+use nrsnn_runtime::ParallelConfig;
 use nrsnn_snn::{
     convert, CodingConfig, CodingKind, ConversionConfig, SnnNetwork, SpikeTransform,
     ThresholdBalancer,
@@ -251,6 +252,11 @@ impl TrainedPipeline {
     /// Converts, simulates and scores the SNN under the given coding, noise
     /// model and weight scaling over `samples` held-out test samples.
     ///
+    /// Each sample is simulated with its own RNG stream derived from `seed`
+    /// and the sample index (see `nrsnn-runtime`), so the result is
+    /// identical to [`TrainedPipeline::evaluate_snn_parallel`] at any
+    /// thread count.
+    ///
     /// # Errors
     /// Propagates conversion and simulation errors.
     pub fn evaluate_snn(
@@ -262,20 +268,39 @@ impl TrainedPipeline {
         samples: usize,
         seed: u64,
     ) -> Result<nrsnn_snn::EvaluationSummary> {
+        self.evaluate_snn_parallel(
+            kind,
+            time_steps,
+            noise,
+            scaling,
+            samples,
+            seed,
+            &ParallelConfig::serial(),
+        )
+    }
+
+    /// [`TrainedPipeline::evaluate_snn`] with the samples fanned out over a
+    /// worker pool.  Bit-identical to the serial path for every `parallel`
+    /// configuration.
+    ///
+    /// # Errors
+    /// Propagates conversion and simulation errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_snn_parallel(
+        &self,
+        kind: CodingKind,
+        time_steps: u32,
+        noise: &dyn SpikeTransform,
+        scaling: &WeightScaling,
+        samples: usize,
+        seed: u64,
+        parallel: &ParallelConfig,
+    ) -> Result<nrsnn_snn::EvaluationSummary> {
         let snn = self.to_snn(scaling)?;
         let coding = kind.build();
         let cfg = self.coding_config(kind, time_steps);
         let subset = self.dataset.test.take(samples)?;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let summary = snn.evaluate(
-            &subset.inputs,
-            &subset.labels,
-            coding.as_ref(),
-            &cfg,
-            noise,
-            &mut rng,
-        )?;
-        Ok(summary)
+        crate::exec::evaluate_network(&snn, coding.as_ref(), &cfg, noise, &subset, seed, parallel)
     }
 
     /// Held-out test subset helper (used by the experiment harness).

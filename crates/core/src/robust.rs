@@ -1,6 +1,7 @@
 //! The paper's proposed noise-robust deep SNN: TTAS coding + weight scaling.
 
 use nrsnn_noise::{DeletionNoise, JitterNoise, WeightScaling};
+use nrsnn_runtime::ParallelConfig;
 use nrsnn_snn::{
     CodingConfig, CodingKind, EvaluationSummary, SnnNetwork, SpikeTransform, TtasCoding,
 };
@@ -134,7 +135,12 @@ impl RobustSnn {
     }
 
     /// Evaluates accuracy over `samples` held-out test samples of the
-    /// pipeline under an arbitrary noise model.
+    /// pipeline under an arbitrary noise model, fanning the samples out over
+    /// an auto-sized worker pool ([`ParallelConfig::auto`], honouring
+    /// `NRSNN_THREADS`).
+    ///
+    /// Every sample draws from its own seed-derived RNG stream, so the
+    /// result is bit-identical at every thread count.
     ///
     /// # Errors
     /// Propagates simulation errors.
@@ -145,16 +151,33 @@ impl RobustSnn {
         samples: usize,
         seed: u64,
     ) -> Result<EvaluationSummary> {
+        self.evaluate_with(pipeline, noise, samples, seed, &ParallelConfig::auto())
+    }
+
+    /// [`RobustSnn::evaluate`] with an explicit parallel configuration
+    /// (pass [`ParallelConfig::serial`] for the single-threaded reference
+    /// path).
+    ///
+    /// # Errors
+    /// Propagates simulation errors.
+    pub fn evaluate_with(
+        &self,
+        pipeline: &TrainedPipeline,
+        noise: &dyn SpikeTransform,
+        samples: usize,
+        seed: u64,
+        parallel: &ParallelConfig,
+    ) -> Result<EvaluationSummary> {
         let subset = pipeline.test_subset(samples)?;
-        let mut rng = StdRng::seed_from_u64(seed);
-        Ok(self.network.evaluate(
-            &subset.inputs,
-            &subset.labels,
+        crate::exec::evaluate_network(
+            &self.network,
             &self.coding,
             &self.config,
             noise,
-            &mut rng,
-        )?)
+            &subset,
+            seed,
+            parallel,
+        )
     }
 
     /// Convenience wrapper: evaluation under pure deletion noise.
@@ -250,6 +273,25 @@ mod tests {
             summary.accuracy,
             pipeline.dnn_test_accuracy()
         );
+    }
+
+    #[test]
+    fn evaluate_is_thread_count_invariant() {
+        let pipeline = tiny_pipeline();
+        let robust = RobustSnnBuilder::new()
+            .time_steps(64)
+            .build(&pipeline)
+            .unwrap();
+        let noise = DeletionNoise::new(0.4).unwrap();
+        let serial = robust
+            .evaluate_with(&pipeline, &noise, 24, 5, &ParallelConfig::serial())
+            .unwrap();
+        let parallel = robust
+            .evaluate_with(&pipeline, &noise, 24, 5, &ParallelConfig::with_threads(4))
+            .unwrap();
+        assert_eq!(serial, parallel);
+        // And the auto-parallel default is the same summary again.
+        assert_eq!(serial, robust.evaluate(&pipeline, &noise, 24, 5).unwrap());
     }
 
     #[test]

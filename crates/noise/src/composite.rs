@@ -8,7 +8,9 @@ use nrsnn_snn::{SpikeRaster, SpikeTransform};
 /// followed by jitter, to model hardware that suffers from both effects.
 #[derive(Default)]
 pub struct CompositeNoise {
-    stages: Vec<Box<dyn SpikeTransform + Send + Sync>>,
+    // `SpikeTransform` itself requires `Send + Sync`, so a composite can
+    // cross threads like any primitive noise model.
+    stages: Vec<Box<dyn SpikeTransform>>,
 }
 
 impl CompositeNoise {
@@ -19,7 +21,7 @@ impl CompositeNoise {
 
     /// Appends a stage (builder style).
     #[must_use]
-    pub fn then<T: SpikeTransform + Send + Sync + 'static>(mut self, stage: T) -> Self {
+    pub fn then<T: SpikeTransform + 'static>(mut self, stage: T) -> Self {
         self.stages.push(Box::new(stage));
         self
     }

@@ -41,6 +41,43 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Thread safety and parallel sweeps
+//!
+//! Every noise model here is immutable parameters plus a per-call `rng`, so
+//! [`SpikeTransform`](nrsnn_snn::SpikeTransform) requires `Send + Sync` and
+//! one model instance can serve a whole worker pool.  The sweep engine in
+//! `nrsnn` exploits this; the same pattern works directly against
+//! `nrsnn-runtime` — and stays bit-identical across thread counts as long
+//! as each task derives its own seed:
+//!
+//! ```
+//! use nrsnn_noise::DeletionNoise;
+//! use nrsnn_runtime::{derive_seed, parallel_map, ParallelConfig};
+//! use nrsnn_snn::{SpikeRaster, SpikeTransform};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), nrsnn_noise::NoiseError> {
+//! let noise = DeletionNoise::new(0.5)?;
+//! let mut raster = SpikeRaster::new(1, 100);
+//! raster.set_train(0, (0..100).collect());
+//!
+//! // One shared noise model, one task per noise realisation.
+//! let realisations: Vec<u64> = (0..16).collect();
+//! let survivors = |parallel: ParallelConfig| -> Vec<usize> {
+//!     parallel_map(&parallel, &realisations, |index, _| {
+//!         let mut rng = StdRng::seed_from_u64(derive_seed(7, index as u64));
+//!         noise.apply(&raster, &mut rng).total_spikes()
+//!     })
+//! };
+//! assert_eq!(
+//!     survivors(ParallelConfig::serial()),
+//!     survivors(ParallelConfig::with_threads(4)),
+//! );
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

@@ -121,6 +121,21 @@ impl CodingKind {
         }
     }
 
+    /// A total-order key over coding kinds: the paper's presentation order
+    /// (rate, phase, burst, TTFS, then TTAS by burst duration).
+    ///
+    /// Sweep results are sorted with this key so their order is a function
+    /// of the grid alone, never of task completion order.
+    pub fn order_index(&self) -> (u8, u32) {
+        match self {
+            CodingKind::Rate => (0, 0),
+            CodingKind::Phase => (1, 0),
+            CodingKind::Burst => (2, 0),
+            CodingKind::Ttfs => (3, 0),
+            CodingKind::Ttas(d) => (4, *d),
+        }
+    }
+
     /// Short label for tables and figures.
     pub fn label(&self) -> String {
         match self {

@@ -130,7 +130,13 @@ impl SnnLayer {
 ///
 /// `nrsnn-noise` implements spike deletion and jitter on top of this hook;
 /// [`IdentityTransform`] is the noise-free baseline.
-pub trait SpikeTransform {
+///
+/// Transforms must be `Send + Sync`: the sweep engine in `nrsnn` fans one
+/// noise model out across a thread pool, with every simulation task holding
+/// a shared reference to it.  Randomness is never stored in the transform —
+/// it flows in per call through the `rng` parameter — so implementations are
+/// naturally immutable state plus parameters.
+pub trait SpikeTransform: Send + Sync {
     /// Produces the (possibly corrupted) raster actually received by the
     /// next layer.
     fn apply(&self, raster: &SpikeRaster, rng: &mut dyn RngCore) -> SpikeRaster;

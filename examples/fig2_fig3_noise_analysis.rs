@@ -36,10 +36,20 @@ fn main() -> Result<(), NrsnnError> {
         seed: 2021,
     };
     let codings = CodingKind::baselines();
+    // Both sweep grids fan out over all cores (or NRSNN_THREADS); results
+    // are bit-identical to a serial run — see `examples/parallel_sweep.rs`.
+    let parallel = ParallelConfig::auto();
+    println!(
+        "sweeping on {} worker thread(s)\n",
+        parallel.effective_threads()
+    );
 
     // ---- Fig. 2: deletion ----
     let deletion_levels = paper_deletion_probabilities();
-    let fig2 = deletion_sweep(&pipeline, &codings, &deletion_levels, false, &sweep)?;
+    let fig2 = DeletionSweep::new(&codings, &deletion_levels)
+        .config(sweep)
+        .parallel(parallel)
+        .run(&pipeline)?;
     println!("Fig. 2 — inference accuracy under spike deletion (no compensation):");
     println!("{}", format_sweep_table(&fig2, "Deletion p"));
     println!("Fig. 2 — mean spikes per inference:");
@@ -55,7 +65,10 @@ fn main() -> Result<(), NrsnnError> {
 
     // ---- Fig. 3: jitter ----
     let jitter_levels = paper_jitter_intensities();
-    let fig3 = jitter_sweep(&pipeline, &codings, &jitter_levels, &sweep)?;
+    let fig3 = JitterSweep::new(&codings, &jitter_levels)
+        .config(sweep)
+        .parallel(parallel)
+        .run(&pipeline)?;
     println!("Fig. 3 — inference accuracy under spike jitter:");
     println!("{}", format_sweep_table(&fig3, "Jitter sigma"));
 

@@ -175,6 +175,34 @@ fn rate_coding_is_unaffected_by_jitter_while_phase_degrades() {
 }
 
 #[test]
+fn sweep_results_do_not_depend_on_thread_count() {
+    // The determinism contract of the parallel sweep engine, end to end:
+    // identical SweepPoint vectors at 1 and 4 worker threads for a fixed
+    // seed, for both noise families.
+    let pipeline = tiny_pipeline(8);
+    let codings = [CodingKind::Rate, CodingKind::Ttfs, CodingKind::Ttas(5)];
+
+    let deletion = |threads: usize| {
+        DeletionSweep::new(&codings, &paper_table_deletion_points())
+            .weight_scaling(true)
+            .config(tiny_sweep())
+            .parallel(ParallelConfig::with_threads(threads))
+            .run(&pipeline)
+            .expect("deletion sweep")
+    };
+    assert_eq!(deletion(1), deletion(4));
+
+    let jitter = |threads: usize| {
+        JitterSweep::new(&codings, &[0.0, 1.0, 2.0])
+            .config(tiny_sweep())
+            .parallel(ParallelConfig::with_threads(threads))
+            .run(&pipeline)
+            .expect("jitter sweep")
+    };
+    assert_eq!(jitter(1), jitter(4));
+}
+
+#[test]
 fn robust_builder_and_sweeps_compose() {
     let pipeline = tiny_pipeline(6);
     let robust = RobustSnnBuilder::new()
