@@ -1,0 +1,142 @@
+//! Simulation-engine throughput: allocating reference path vs the
+//! allocation-free workspace path, on the Fig. 7 deletion-sweep workload
+//! (CIFAR-10-like pipeline, TTAS(5) with weight scaling under 50 % spike
+//! deletion).
+//!
+//! Both paths simulate the same samples with the same per-sample derived
+//! seeds and are asserted to produce identical predictions and spike counts
+//! before any timing happens — the workspace path buys throughput, never
+//! different results.
+//!
+//! ```text
+//! cargo bench -p nrsnn-bench --bench sim_throughput
+//! ```
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline};
+use nrsnn_runtime::derive_seed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SAMPLES: usize = 24;
+const SEED: u64 = 2021;
+
+struct Workload {
+    network: SnnNetwork,
+    coding: Box<dyn NeuralCoding>,
+    cfg: CodingConfig,
+    noise: DeletionNoise,
+}
+
+fn workload() -> Workload {
+    let pipeline = cifar10_pipeline();
+    let scaling = WeightScaling::for_deletion_probability(0.5).expect("ws");
+    let kind = CodingKind::Ttas(5);
+    Workload {
+        network: pipeline.to_snn(&scaling).expect("convert"),
+        coding: kind.build(),
+        cfg: pipeline.coding_config(kind, bench_sweep_config().time_steps),
+        noise: DeletionNoise::new(0.5).expect("noise"),
+    }
+}
+
+/// The seed engine's inner loop: allocate-per-call simulation, one fresh
+/// RNG per sample.
+fn run_allocating(w: &Workload) -> (usize, usize) {
+    let inputs = &cifar10_pipeline().dataset().test.inputs;
+    let mut correct_spikes = (0usize, 0usize);
+    for sample in 0..SAMPLES {
+        let row = inputs.row(sample).expect("row");
+        let mut rng = StdRng::seed_from_u64(derive_seed(SEED, sample as u64));
+        let outcome = w
+            .network
+            .simulate_unbuffered(
+                row.as_slice(),
+                w.coding.as_ref(),
+                &w.cfg,
+                &w.noise,
+                &mut rng,
+            )
+            .expect("simulate");
+        correct_spikes.0 += outcome.predicted;
+        correct_spikes.1 += outcome.total_spikes;
+    }
+    correct_spikes
+}
+
+/// The workspace engine's inner loop: one reusable workspace, zero
+/// steady-state allocations per sample.
+fn run_workspace(
+    w: &Workload,
+    ws: &mut SimWorkspace,
+    out: &mut Vec<BatchOutcome>,
+) -> (usize, usize) {
+    let inputs = &cifar10_pipeline().dataset().test.inputs;
+    w.network
+        .simulate_batch(
+            inputs,
+            0..SAMPLES,
+            w.coding.as_ref(),
+            &w.cfg,
+            &w.noise,
+            |sample| StdRng::seed_from_u64(derive_seed(SEED, sample as u64)),
+            ws,
+            out,
+        )
+        .expect("simulate_batch");
+    out.iter()
+        .fold((0, 0), |(p, s), o| (p + o.predicted, s + o.total_spikes))
+}
+
+fn throughput_report(w: &Workload) {
+    let mut ws = SimWorkspace::for_network(&w.network, &w.cfg);
+    let mut out = Vec::new();
+
+    // Equality gate before timing: both paths must agree exactly.
+    let reference = run_allocating(w);
+    let workspace = run_workspace(w, &mut ws, &mut out);
+    assert_eq!(
+        reference, workspace,
+        "workspace path diverged from the allocating reference"
+    );
+
+    let time = |mut f: Box<dyn FnMut() -> (usize, usize)>| -> f64 {
+        let rounds = 5;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(f());
+        }
+        (rounds * SAMPLES) as f64 / start.elapsed().as_secs_f64()
+    };
+    let alloc_rate = time(Box::new(|| run_allocating(w)));
+    let ws_rate = time(Box::new(|| run_workspace(w, &mut ws, &mut out)));
+
+    println!("\n==== Simulation throughput (fig7 workload: TTAS(5)+WS, deletion p=0.5) ====");
+    println!("{:<24}{:>16}", "path", "samples/s");
+    println!("{:<24}{:>16.1}", "allocating (reference)", alloc_rate);
+    println!("{:<24}{:>16.1}", "workspace (batched)", ws_rate);
+    println!("workspace speedup: {:.2}x\n", ws_rate / alloc_rate);
+}
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    throughput_report(&w);
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.bench_function("allocating_24_samples", |b| {
+        b.iter(|| black_box(run_allocating(&w)))
+    });
+    group.bench_function("workspace_24_samples", |b| {
+        let mut ws = SimWorkspace::for_network(&w.network, &w.cfg);
+        let mut out = Vec::new();
+        b.iter(|| black_box(run_workspace(&w, &mut ws, &mut out)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

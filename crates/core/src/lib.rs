@@ -120,7 +120,7 @@ pub mod prelude {
         JitterNoise, WeightScaling,
     };
     pub use nrsnn_snn::{
-        CodingConfig, CodingKind, IdentityTransform, NeuralCoding, SnnNetwork, SpikeTransform,
-        TtasCoding,
+        BatchOutcome, CodingConfig, CodingKind, IdentityTransform, NeuralCoding, SimWorkspace,
+        SnnNetwork, SpikeTransform, TtasCoding,
     };
 }

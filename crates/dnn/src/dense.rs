@@ -1,6 +1,6 @@
 //! Fully connected (dense) layer.
 
-use nrsnn_tensor::{he_normal, matmul, transpose, Tensor};
+use nrsnn_tensor::{he_normal, matmul, matmul_slices, transpose, transpose_slices, Tensor};
 use rand::Rng;
 
 use crate::{DnnError, Layer, LayerDescriptor, Mode, Result};
@@ -17,6 +17,8 @@ pub struct Dense {
     cached_input: Option<Tensor>,
     in_features: usize,
     out_features: usize,
+    /// Reusable buffer for the transposed weights of the forward pass.
+    scratch_wt: Vec<f32>,
 }
 
 impl Dense {
@@ -39,6 +41,7 @@ impl Dense {
             cached_input: None,
             in_features,
             out_features,
+            scratch_wt: Vec::new(),
         })
     }
 
@@ -68,6 +71,7 @@ impl Dense {
             bias,
             in_features,
             out_features,
+            scratch_wt: Vec::new(),
         })
     }
 
@@ -101,6 +105,12 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut out = Tensor::default();
+        self.forward_into(input, mode, &mut out)?;
+        Ok(out)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, mode: Mode, out: &mut Tensor) -> Result<()> {
         if input.shape().rank() != 2 || input.dims()[1] != self.in_features {
             return Err(DnnError::InputWidthMismatch {
                 expected: self.in_features,
@@ -115,17 +125,35 @@ impl Layer for Dense {
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
         }
-        let wt = transpose(&self.weights)?;
-        let mut out = matmul(input, &wt)?;
+        // Wᵀ into the layer scratch, x·Wᵀ into `out`'s reused buffer — the
+        // same kernels (hence the same values) as the allocating path, which
+        // used `matmul(input, &transpose(&self.weights)?)`.
+        self.scratch_wt.clear();
+        self.scratch_wt
+            .resize(self.in_features * self.out_features, 0.0);
+        transpose_slices(
+            self.weights.as_slice(),
+            self.out_features,
+            self.in_features,
+            &mut self.scratch_wt,
+        );
         let batch = input.dims()[0];
+        let data = out.reset_zeroed(&[batch, self.out_features]);
+        matmul_slices(
+            input.as_slice(),
+            batch,
+            self.in_features,
+            &self.scratch_wt,
+            self.out_features,
+            data,
+        );
         let bias = self.bias.as_slice();
-        let data = out.as_mut_slice();
         for b in 0..batch {
             for (j, &bv) in bias.iter().enumerate() {
                 data[b * self.out_features + j] += bv;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -193,6 +221,20 @@ mod tests {
         let x = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]).unwrap();
         let y = layer.forward(&x, Mode::Infer).unwrap();
         assert_eq!(y.as_slice(), &[2.0, 3.5, 4.0]);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_and_reuses_buffer() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(&mut rng, 4, 3).unwrap();
+        let x = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4, 1.0, 0.0, -1.0, 2.0], &[2, 4]).unwrap();
+        let reference = layer.forward(&x, Mode::Infer).unwrap();
+        let mut out = Tensor::from_slice(&[9.0]); // wrong shape: must be reset
+        layer.forward_into(&x, Mode::Infer, &mut out).unwrap();
+        assert_eq!(out, reference);
+        // A second call must reuse the buffer and reproduce the result.
+        layer.forward_into(&x, Mode::Infer, &mut out).unwrap();
+        assert_eq!(out, reference);
     }
 
     #[test]

@@ -52,6 +52,33 @@ impl SpikeTransform for CompositeNoise {
         current
     }
 
+    fn apply_into(&self, raster: &SpikeRaster, out: &mut SpikeRaster, rng: &mut dyn RngCore) {
+        match self.stages.split_first() {
+            None => out.copy_from(raster),
+            Some((first, rest)) => {
+                // First stage into `out`, every further stage mutates `out`
+                // in place — no scratch raster, so a multi-stage composite
+                // is as allocation-free as its stages.  Each stage consumes
+                // the RNG exactly as in `apply`, keeping the composite
+                // bit-identical to the allocating path.
+                first.apply_into(raster, out, rng);
+                for stage in rest {
+                    stage.apply_in_place(out, rng);
+                }
+            }
+        }
+    }
+
+    fn apply_in_place(&self, raster: &mut SpikeRaster, rng: &mut dyn RngCore) {
+        for stage in &self.stages {
+            stage.apply_in_place(raster, rng);
+        }
+    }
+
+    fn is_identity(&self) -> bool {
+        self.stages.iter().all(|stage| stage.is_identity())
+    }
+
     fn describe(&self) -> String {
         if self.stages.is_empty() {
             return "clean".to_string();
@@ -95,6 +122,60 @@ mod tests {
         let out = noise.apply(&raster(), &mut rng);
         assert!(out.total_spikes() < 200);
         assert!(out.total_spikes() > 50);
+    }
+
+    #[test]
+    fn apply_into_matches_apply_for_any_stage_count() {
+        let r = raster();
+        let composites = [
+            CompositeNoise::new(),
+            CompositeNoise::new().then(DeletionNoise::new(0.4).unwrap()),
+            CompositeNoise::new()
+                .then(DeletionNoise::new(0.5).unwrap())
+                .then(JitterNoise::new(2.0).unwrap()),
+            CompositeNoise::new()
+                .then(JitterNoise::new(1.0).unwrap())
+                .then(DeletionNoise::new(0.2).unwrap())
+                .then(JitterNoise::new(3.0).unwrap()),
+        ];
+        for (i, noise) in composites.iter().enumerate() {
+            let mut rng_a = StdRng::seed_from_u64(5);
+            let mut rng_b = StdRng::seed_from_u64(5);
+            let reference = noise.apply(&r, &mut rng_a);
+            let mut reused = SpikeRaster::new(1, 1);
+            noise.apply_into(&r, &mut reused, &mut rng_b);
+            assert_eq!(reused, reference, "composite {i}");
+            assert_eq!(rng_a, rng_b, "composite {i}");
+        }
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply_for_stage_chains() {
+        let r = raster();
+        let noise = CompositeNoise::new()
+            .then(JitterNoise::new(1.5).unwrap())
+            .then(DeletionNoise::new(0.3).unwrap())
+            .then(JitterNoise::new(0.5).unwrap());
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let reference = noise.apply(&r, &mut rng_a);
+        let mut in_place = r.clone();
+        noise.apply_in_place(&mut in_place, &mut rng_b);
+        assert_eq!(in_place, reference);
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn is_identity_requires_every_stage_to_be_identity() {
+        assert!(CompositeNoise::new().is_identity());
+        assert!(CompositeNoise::new()
+            .then(DeletionNoise::new(0.0).unwrap())
+            .then(JitterNoise::new(0.0).unwrap())
+            .is_identity());
+        assert!(!CompositeNoise::new()
+            .then(DeletionNoise::new(0.0).unwrap())
+            .then(JitterNoise::new(1.0).unwrap())
+            .is_identity());
     }
 
     #[test]

@@ -52,6 +52,37 @@ impl SpikeTransform for DeletionNoise {
         })
     }
 
+    fn apply_into(&self, raster: &SpikeRaster, out: &mut SpikeRaster, rng: &mut dyn RngCore) {
+        if self.probability == 0.0 {
+            out.copy_from(raster);
+            return;
+        }
+        // Same neuron order and one RNG draw per spike, exactly as `apply`.
+        raster.map_trains_into(out, |_, train, kept| {
+            kept.extend(
+                train
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen::<f64>() >= self.probability),
+            );
+        });
+    }
+
+    fn apply_in_place(&self, raster: &mut SpikeRaster, rng: &mut dyn RngCore) {
+        if self.probability == 0.0 {
+            return;
+        }
+        // `retain` visits spikes in order: one RNG draw per spike, exactly
+        // as `apply`.
+        raster.update_trains(|_, train| {
+            train.retain(|_| rng.gen::<f64>() >= self.probability);
+        });
+    }
+
+    fn is_identity(&self) -> bool {
+        self.probability == 0.0
+    }
+
     fn describe(&self) -> String {
         format!("deletion(p={})", self.probability)
     }
@@ -120,5 +151,42 @@ mod tests {
     #[test]
     fn describe_mentions_probability() {
         assert!(DeletionNoise::new(0.3).unwrap().describe().contains("0.3"));
+    }
+
+    #[test]
+    fn apply_into_matches_apply_with_identical_rng_consumption() {
+        let raster = dense_raster(7, 40);
+        for p in [0.0, 0.3, 0.8, 1.0] {
+            let noise = DeletionNoise::new(p).unwrap();
+            let mut rng_a = StdRng::seed_from_u64(11);
+            let mut rng_b = StdRng::seed_from_u64(11);
+            let reference = noise.apply(&raster, &mut rng_a);
+            let mut reused = SpikeRaster::new(1, 2); // wrong shape: must be reset
+            noise.apply_into(&raster, &mut reused, &mut rng_b);
+            assert_eq!(reused, reference, "p {p}");
+            // Both paths must have advanced the RNG identically.
+            assert_eq!(rng_a, rng_b, "p {p}");
+        }
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply_with_identical_rng_consumption() {
+        let raster = dense_raster(5, 30);
+        for p in [0.0, 0.4, 1.0] {
+            let noise = DeletionNoise::new(p).unwrap();
+            let mut rng_a = StdRng::seed_from_u64(31);
+            let mut rng_b = StdRng::seed_from_u64(31);
+            let reference = noise.apply(&raster, &mut rng_a);
+            let mut in_place = raster.clone();
+            noise.apply_in_place(&mut in_place, &mut rng_b);
+            assert_eq!(in_place, reference, "p {p}");
+            assert_eq!(rng_a, rng_b, "p {p}");
+        }
+    }
+
+    #[test]
+    fn is_identity_only_at_zero_probability() {
+        assert!(DeletionNoise::new(0.0).unwrap().is_identity());
+        assert!(!DeletionNoise::new(0.01).unwrap().is_identity());
     }
 }

@@ -80,6 +80,40 @@ impl SpikeTransform for JitterNoise {
         })
     }
 
+    fn apply_into(&self, raster: &SpikeRaster, out: &mut SpikeRaster, rng: &mut dyn RngCore) {
+        if self.sigma == 0.0 {
+            out.copy_from(raster);
+            return;
+        }
+        let max_t = raster.num_steps().saturating_sub(1) as i64;
+        // Same neuron order and two RNG draws per spike, exactly as `apply`.
+        raster.map_trains_into(out, |_, train, shifted| {
+            shifted.extend(train.iter().map(|&t| {
+                let shift = (Self::gaussian(rng) * self.sigma).round() as i64;
+                (t as i64 + shift).clamp(0, max_t) as u32
+            }));
+        });
+    }
+
+    fn apply_in_place(&self, raster: &mut SpikeRaster, rng: &mut dyn RngCore) {
+        if self.sigma == 0.0 {
+            return;
+        }
+        let max_t = raster.num_steps().saturating_sub(1) as i64;
+        // Two RNG draws per spike in spike order, exactly as `apply`;
+        // `update_trains` re-sorts each train like `set_train` did.
+        raster.update_trains(|_, train| {
+            for t in train.iter_mut() {
+                let shift = (Self::gaussian(rng) * self.sigma).round() as i64;
+                *t = (*t as i64 + shift).clamp(0, max_t) as u32;
+            }
+        });
+    }
+
+    fn is_identity(&self) -> bool {
+        self.sigma == 0.0
+    }
+
     fn describe(&self) -> String {
         format!("jitter(sigma={})", self.sigma)
     }
@@ -146,5 +180,41 @@ mod tests {
     #[test]
     fn describe_mentions_sigma() {
         assert!(JitterNoise::new(2.5).unwrap().describe().contains("2.5"));
+    }
+
+    #[test]
+    fn apply_into_matches_apply_with_identical_rng_consumption() {
+        let raster = SpikeRaster::from_trains(vec![(0..30).collect(), vec![5, 9], vec![]], 64);
+        for sigma in [0.0, 1.0, 4.5] {
+            let noise = JitterNoise::new(sigma).unwrap();
+            let mut rng_a = StdRng::seed_from_u64(21);
+            let mut rng_b = StdRng::seed_from_u64(21);
+            let reference = noise.apply(&raster, &mut rng_a);
+            let mut reused = SpikeRaster::new(9, 9); // wrong shape: must be reset
+            noise.apply_into(&raster, &mut reused, &mut rng_b);
+            assert_eq!(reused, reference, "sigma {sigma}");
+            assert_eq!(rng_a, rng_b, "sigma {sigma}");
+        }
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply_with_identical_rng_consumption() {
+        let raster = SpikeRaster::from_trains(vec![(0..20).collect(), vec![3, 60]], 64);
+        for sigma in [0.0, 2.5] {
+            let noise = JitterNoise::new(sigma).unwrap();
+            let mut rng_a = StdRng::seed_from_u64(41);
+            let mut rng_b = StdRng::seed_from_u64(41);
+            let reference = noise.apply(&raster, &mut rng_a);
+            let mut in_place = raster.clone();
+            noise.apply_in_place(&mut in_place, &mut rng_b);
+            assert_eq!(in_place, reference, "sigma {sigma}");
+            assert_eq!(rng_a, rng_b, "sigma {sigma}");
+        }
+    }
+
+    #[test]
+    fn is_identity_only_at_zero_sigma() {
+        assert!(JitterNoise::new(0.0).unwrap().is_identity());
+        assert!(!JitterNoise::new(0.5).unwrap().is_identity());
     }
 }

@@ -71,5 +71,5 @@ mod pool;
 mod seed;
 
 pub use config::{ParallelConfig, DEFAULT_BATCH_SIZE, THREADS_ENV_VAR};
-pub use pool::{parallel_map, try_parallel_map};
+pub use pool::{parallel_map, parallel_map_init, try_parallel_map, try_parallel_map_init};
 pub use seed::derive_seed;

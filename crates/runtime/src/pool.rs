@@ -37,6 +37,38 @@ where
     }
 }
 
+/// [`parallel_map`] with per-worker state: every worker thread calls `init`
+/// exactly once and hands the resulting value mutably to each of its tasks.
+///
+/// This is the hook the simulation engine uses to give every worker one
+/// reusable `SimWorkspace`: `init` builds the (empty) workspace, tasks fill
+/// and reuse it.  Because the state is per-*worker* while results are keyed
+/// by per-*item* index, the output is identical for every thread count as
+/// long as `f` is deterministic given `(index, item)` — state must only
+/// carry scratch space, never values that influence results.
+///
+/// # Panics
+/// Propagates panics from `init` or `f`.
+pub fn parallel_map_init<T, S, R, I, F>(
+    config: &ParallelConfig,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    match try_parallel_map_init(config, items, init, |state, index, item| {
+        Ok::<R, Infallible>(f(state, index, item))
+    }) {
+        Ok(results) => results,
+        Err(never) => match never {},
+    }
+}
+
 /// Fallible variant of [`parallel_map`].
 ///
 /// All tasks run to completion (there is no early exit, so a failing grid is
@@ -56,6 +88,30 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
+    try_parallel_map_init(config, items, || (), |(), index, item| f(index, item))
+}
+
+/// Fallible variant of [`parallel_map_init`]; error handling follows
+/// [`try_parallel_map`] (all tasks run, the lowest-indexed error wins).
+///
+/// # Errors
+/// Returns the lowest-indexed error produced by `f`.
+///
+/// # Panics
+/// Propagates panics from `init` or `f`.
+pub fn try_parallel_map_init<T, S, R, E, I, F>(
+    config: &ParallelConfig,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> Result<R, E> + Sync,
+{
     let len = items.len();
     if len == 0 {
         return Ok(Vec::new());
@@ -65,9 +121,10 @@ where
     let threads = config.effective_threads().clamp(1, num_batches);
 
     if threads == 1 {
+        let mut state = init();
         let mut out = Vec::with_capacity(len);
         for (index, item) in items.iter().enumerate() {
-            out.push(f(index, item)?);
+            out.push(f(&mut state, index, item)?);
         }
         return Ok(out);
     }
@@ -92,12 +149,16 @@ where
         for worker in 0..threads {
             let queues = &queues;
             let result_sink = &result_sink;
+            let init = &init;
             let f = &f;
             scope.spawn(move || {
+                // One state per worker thread, reused across all the batches
+                // this worker runs or steals.
+                let mut state = init();
                 let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
                 while let Some(range) = next_batch(queues, worker) {
                     for index in range {
-                        local.push((index, f(index, &items[index])));
+                        local.push((index, f(&mut state, index, &items[index])));
                     }
                 }
                 result_sink
@@ -228,5 +289,59 @@ mod tests {
         let items = [1u8, 2, 3];
         let out = parallel_map(&cfg(64, 2), &items, |_, &x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn map_init_runs_init_once_per_worker() {
+        let states = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..200).collect();
+        let out = parallel_map_init(
+            &cfg(4, 5),
+            &items,
+            || {
+                states.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, _, &x| {
+                scratch.push(x); // scratch persists across this worker's tasks
+                x * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let created = states.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&created),
+            "expected at most one state per worker, got {created}"
+        );
+    }
+
+    #[test]
+    fn map_init_results_are_thread_count_invariant() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x + 7).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_map_init(&cfg(threads, 3), &items, || 0usize, |_, _, &x| x + 7);
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_init_reports_lowest_indexed_error() {
+        let items: Vec<u32> = (0..50).collect();
+        for threads in [1, 4] {
+            let result: Result<Vec<u32>, u32> = try_parallel_map_init(
+                &cfg(threads, 2),
+                &items,
+                || (),
+                |(), _, &x| {
+                    if x % 13 == 12 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                },
+            );
+            assert_eq!(result, Err(12), "threads={threads}");
+        }
     }
 }

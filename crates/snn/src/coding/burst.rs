@@ -67,10 +67,17 @@ impl NeuralCoding for BurstCoding {
     }
 
     fn encode(&self, activation: f32, cfg: &CodingConfig) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.encode_into(activation, cfg, &mut out);
+        out
+    }
+
+    fn encode_into(&self, activation: f32, cfg: &CodingConfig, out: &mut Vec<u32>) {
+        out.clear();
         let v = cfg.clamp(activation) / cfg.threshold;
         let n = (v * self.max_spikes as f32).round() as u32;
         let n = n.min(self.max_spikes).min(cfg.time_steps);
-        (0..n).collect()
+        out.extend(0..n);
     }
 
     fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32 {

@@ -28,7 +28,7 @@ pub use ttfs::TtfsCoding;
 
 use serde::{Deserialize, Serialize};
 
-use crate::CodingConfig;
+use crate::{CodingConfig, SpikeRaster};
 
 /// A neural coding: the pair of an encoder (activation → spike train) and a
 /// decoder (spike train → PSC sum ≈ activation).
@@ -48,9 +48,30 @@ pub trait NeuralCoding: Send + Sync {
     /// `[0, cfg.threshold]`.
     fn encode(&self, activation: f32, cfg: &CodingConfig) -> Vec<u32>;
 
+    /// Encodes into a caller-provided buffer (cleared first, capacity kept).
+    ///
+    /// Must produce exactly the spikes of [`NeuralCoding::encode`]; every
+    /// coding in this crate overrides the default with an allocation-free
+    /// implementation, which is what makes the batched simulation workspace
+    /// (`SimWorkspace`) allocation-free in steady state.
+    fn encode_into(&self, activation: f32, cfg: &CodingConfig, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(&self.encode(activation, cfg));
+    }
+
     /// Integrates a spike train through the coding's PSC kernel, recovering
     /// an activation estimate.
     fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32;
+
+    /// Decodes every train of `raster` into `out` (cleared first, capacity
+    /// kept): `out[n] = decode(raster.train(n))` in neuron order.
+    ///
+    /// The default is already allocation-free in steady state because
+    /// [`NeuralCoding::decode`] takes the train by reference.
+    fn decode_into(&self, raster: &SpikeRaster, cfg: &CodingConfig, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend((0..raster.num_neurons()).map(|n| self.decode(raster.train(n), cfg)));
+    }
 }
 
 /// Tag identifying a coding scheme (with its structural parameter for TTAS).
@@ -254,6 +275,44 @@ mod tests {
             let coding = kind.build();
             assert!(coding.encode(0.0, &cfg).is_empty(), "{}", coding.name());
             assert_eq!(coding.decode(&[], &cfg), 0.0);
+        }
+    }
+
+    /// `encode_into` must reproduce `encode` exactly for every coding and a
+    /// spread of values, and `decode_into` must match per-train `decode` —
+    /// this is the contract the allocation-free simulation path relies on.
+    #[test]
+    fn into_variants_match_allocating_encode_decode() {
+        for time_steps in [17, 64, 128] {
+            let cfg = CodingConfig::new(time_steps, 1.0);
+            for kind in [
+                CodingKind::Rate,
+                CodingKind::Phase,
+                CodingKind::Burst,
+                CodingKind::Ttfs,
+                CodingKind::Ttas(5),
+                CodingKind::Ttas(1),
+            ] {
+                let coding = kind.build();
+                let mut buf = vec![77u32; 3]; // dirty: must be cleared
+                let values = [-0.2f32, 0.0, 1e-6, 0.1, 0.33, 0.5, 0.73, 0.99, 1.0, 2.5];
+                for &v in &values {
+                    coding.encode_into(v, &cfg, &mut buf);
+                    assert_eq!(buf, coding.encode(v, &cfg), "{} value {v}", coding.name());
+                }
+                let trains: Vec<Vec<u32>> =
+                    values.iter().map(|&v| coding.encode(v, &cfg)).collect();
+                let raster = SpikeRaster::from_trains(trains.clone(), cfg.time_steps);
+                let mut decoded = vec![9.0f32; 2];
+                coding.decode_into(&raster, &cfg, &mut decoded);
+                let reference: Vec<f32> = trains.iter().map(|t| coding.decode(t, &cfg)).collect();
+                assert_eq!(
+                    decoded.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{}",
+                    coding.name()
+                );
+            }
         }
     }
 

@@ -63,33 +63,34 @@ impl NeuralCoding for PhaseCoding {
     }
 
     fn encode(&self, activation: f32, cfg: &CodingConfig) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.encode_into(activation, cfg, &mut out);
+        out
+    }
+
+    fn encode_into(&self, activation: f32, cfg: &CodingConfig, out: &mut Vec<u32>) {
+        out.clear();
         let v = cfg.clamp(activation) / cfg.threshold;
         if v <= 0.0 {
-            return Vec::new();
+            return;
         }
-        // Greedy binary expansion v ≈ Σ b_k 2^-(k+1).
-        let mut bits = vec![false; self.period as usize];
-        let mut rem = v;
-        for (k, bit) in bits.iter_mut().enumerate() {
-            let w = 0.5f32.powi(k as i32 + 1);
-            if rem >= w - 1e-6 {
-                *bit = true;
-                rem -= w;
-            }
-        }
+        // Greedy binary expansion v ≈ Σ b_k 2^-(k+1), re-derived per period
+        // so no bit buffer is needed: the expansion is a pure function of
+        // `v`, hence identical in every period.
         let periods = self.num_periods(cfg);
-        let mut spikes = Vec::new();
         for p in 0..periods {
-            for (k, &bit) in bits.iter().enumerate() {
-                if bit {
-                    let t = p * self.period + k as u32;
+            let mut rem = v;
+            for k in 0..self.period {
+                let w = 0.5f32.powi(k as i32 + 1);
+                if rem >= w - 1e-6 {
+                    rem -= w;
+                    let t = p * self.period + k;
                     if t < cfg.time_steps {
-                        spikes.push(t);
+                        out.push(t);
                     }
                 }
             }
         }
-        spikes
     }
 
     fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32 {

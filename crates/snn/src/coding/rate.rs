@@ -29,17 +29,22 @@ impl NeuralCoding for RateCoding {
     }
 
     fn encode(&self, activation: f32, cfg: &CodingConfig) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.encode_into(activation, cfg, &mut out);
+        out
+    }
+
+    fn encode_into(&self, activation: f32, cfg: &CodingConfig, out: &mut Vec<u32>) {
+        out.clear();
         let t = cfg.time_steps;
         let v = cfg.clamp(activation);
         let n = ((v / cfg.threshold) * t as f32).round() as u32;
         let n = n.min(t);
         if n == 0 {
-            return Vec::new();
+            return;
         }
         // Spread the n spikes evenly over the window.
-        (0..n)
-            .map(|k| (k as u64 * t as u64 / n as u64) as u32)
-            .collect()
+        out.extend((0..n).map(|k| (k as u64 * t as u64 / n as u64) as u32));
     }
 
     fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32 {

@@ -60,9 +60,15 @@ impl NeuralCoding for TtfsCoding {
     }
 
     fn encode(&self, activation: f32, cfg: &CodingConfig) -> Vec<u32> {
-        match TtfsCoding::spike_time(activation, cfg) {
-            Some(t) => vec![t],
-            None => Vec::new(),
+        let mut out = Vec::new();
+        self.encode_into(activation, cfg, &mut out);
+        out
+    }
+
+    fn encode_into(&self, activation: f32, cfg: &CodingConfig, out: &mut Vec<u32>) {
+        out.clear();
+        if let Some(t) = TtfsCoding::spike_time(activation, cfg) {
+            out.push(t);
         }
     }
 

@@ -48,6 +48,7 @@ mod error;
 mod network;
 mod neuron;
 mod spike;
+mod workspace;
 
 pub use coding::{
     BurstCoding, CodingKind, NeuralCoding, PhaseCoding, RateCoding, TtasCoding, TtfsCoding,
@@ -60,6 +61,7 @@ pub use network::{
 };
 pub use neuron::{IfNeuron, IfbNeuron, ResetKind};
 pub use spike::SpikeRaster;
+pub use workspace::{BatchOutcome, SimWorkspace};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SnnError>;

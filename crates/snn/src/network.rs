@@ -1,9 +1,33 @@
 //! Converted spiking networks and their clock-driven simulation.
+//!
+//! Two simulation paths share one arithmetic core and produce bit-identical
+//! results:
+//!
+//! * the **workspace path** — [`SnnNetwork::simulate_with`] /
+//!   [`SnnNetwork::simulate_batch`] write every intermediate (rasters,
+//!   decoded activations, matmul scratch) into a caller-provided
+//!   [`SimWorkspace`], allocating nothing in steady state;
+//! * the **reference path** — [`SnnNetwork::simulate_unbuffered`] keeps the
+//!   original allocate-per-call implementation as an executable
+//!   specification; the `workspace_bit_identity` integration tests assert
+//!   byte-for-byte equality between the two, and the `sim_throughput` bench
+//!   measures the speedup.
+//!
+//! [`SnnNetwork::simulate`] is a thin wrapper over a one-shot workspace, so
+//! existing callers keep their API and gain the allocation-free inner loop.
 
-use nrsnn_tensor::{im2col, matvec, transpose, Conv2dGeometry, Pool2dGeometry, Tensor};
+use std::ops::Range;
+
+use nrsnn_tensor::{
+    im2col, im2col_slices, matmul_slices, matvec, matvec_slices, transpose, transpose_slices,
+    Conv2dGeometry, Pool2dGeometry, Tensor,
+};
 use rand::RngCore;
 
-use crate::{CodingConfig, NeuralCoding, Result, SnnError, SpikeRaster};
+use crate::workspace::ConvScratch;
+use crate::{
+    BatchOutcome, CodingConfig, NeuralCoding, Result, SimWorkspace, SnnError, SpikeRaster,
+};
 
 /// One layer of a converted spiking network.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +147,85 @@ impl SnnLayer {
             }
         }
     }
+
+    /// Allocation-free analog forward pass: writes the layer output into
+    /// `out` (cleared and resized, capacity kept), using `scratch` for the
+    /// convolution intermediates.
+    ///
+    /// Performs the same floating-point operations in the same order as
+    /// [`SnnLayer::forward_analog`], so the two produce bit-identical
+    /// results.
+    fn forward_analog_into(&self, input: &[f32], scratch: &mut ConvScratch, out: &mut Vec<f32>) {
+        match self {
+            SnnLayer::Linear { weights, bias } => {
+                let (m, n) = (weights.dims()[0], weights.dims()[1]);
+                out.clear();
+                out.resize(m, 0.0);
+                matvec_slices(weights.as_slice(), m, n, input, out);
+                // `add_scaled_inplace(bias, 1.0)` on the reference path is
+                // `o += b * 1.0`, bit-identical to a plain add.
+                for (o, &b) in out.iter_mut().zip(bias.as_slice()) {
+                    *o += b;
+                }
+            }
+            SnnLayer::Conv {
+                weights,
+                bias,
+                geometry,
+            } => {
+                let patch = geometry.patch_len();
+                let positions = geometry.out_positions();
+                let out_ch = weights.dims()[0];
+                scratch.cols.clear();
+                scratch.cols.resize(positions * patch, 0.0);
+                im2col_slices(input, geometry, &mut scratch.cols);
+                scratch.weights_t.clear();
+                scratch.weights_t.resize(patch * out_ch, 0.0);
+                transpose_slices(weights.as_slice(), out_ch, patch, &mut scratch.weights_t);
+                scratch.prod.clear();
+                scratch.prod.resize(positions * out_ch, 0.0);
+                matmul_slices(
+                    &scratch.cols,
+                    positions,
+                    patch,
+                    &scratch.weights_t,
+                    out_ch,
+                    &mut scratch.prod,
+                );
+                out.clear();
+                out.resize(out_ch * positions, 0.0);
+                let bv = bias.as_slice();
+                for c in 0..out_ch {
+                    for p in 0..positions {
+                        out[c * positions + p] = scratch.prod[p * out_ch + c] + bv[c];
+                    }
+                }
+            }
+            SnnLayer::AvgPool { geometry } => {
+                let g = geometry;
+                let (oh, ow) = (g.out_height(), g.out_width());
+                out.clear();
+                out.resize(g.out_len(), 0.0);
+                let area = (g.window * g.window) as f32;
+                for c in 0..g.channels {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = 0.0;
+                            for ky in 0..g.window {
+                                for kx in 0..g.window {
+                                    let iy = oy * g.stride + ky;
+                                    let ix = ox * g.stride + kx;
+                                    acc +=
+                                        input[c * g.in_height * g.in_width + iy * g.in_width + ix];
+                                }
+                            }
+                            out[c * oh * ow + oy * ow + ox] = acc / area;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A transformation applied to every layer-to-layer spike raster during
@@ -141,6 +244,44 @@ pub trait SpikeTransform: Send + Sync {
     /// next layer.
     fn apply(&self, raster: &SpikeRaster, rng: &mut dyn RngCore) -> SpikeRaster;
 
+    /// In-place sibling of [`SpikeTransform::apply`]: writes the transformed
+    /// raster into `out`, reusing its buffers.
+    ///
+    /// Must produce the same raster as `apply` and consume the RNG in the
+    /// same order.  The default delegates to `apply` (allocating);
+    /// implementations on the hot path override it with an allocation-free
+    /// version (see `nrsnn-noise`).
+    fn apply_into(&self, raster: &SpikeRaster, out: &mut SpikeRaster, rng: &mut dyn RngCore) {
+        *out = self.apply(raster, rng);
+    }
+
+    /// Mutating variant of [`SpikeTransform::apply`]: transforms `raster` in
+    /// place.
+    ///
+    /// Must produce the same raster as `apply` and consume the RNG in the
+    /// same order.  The default buffers through a scratch raster
+    /// (allocating); the deletion/jitter models in `nrsnn-noise` override it
+    /// allocation-free, which is what keeps multi-stage `CompositeNoise`
+    /// chains allocation-free too — the composite writes its first stage via
+    /// `apply_into` and applies the remaining stages in place.
+    fn apply_in_place(&self, raster: &mut SpikeRaster, rng: &mut dyn RngCore) {
+        let mut scratch = SpikeRaster::default();
+        self.apply_into(raster, &mut scratch, rng);
+        raster.copy_from(&scratch);
+    }
+
+    /// Returns `true` if `apply` is guaranteed to return the raster
+    /// unchanged *and* to consume no randomness for the current parameters
+    /// (e.g. deletion with `p = 0`).
+    ///
+    /// The simulation engine uses this to skip the transform entirely on the
+    /// no-noise path instead of cloning the full raster; because an identity
+    /// transform draws nothing from the RNG, skipping it leaves all
+    /// downstream random draws — and therefore all results — unchanged.
+    fn is_identity(&self) -> bool {
+        false
+    }
+
     /// Short description used in reports.
     fn describe(&self) -> String {
         "unnamed transform".to_string()
@@ -154,6 +295,16 @@ pub struct IdentityTransform;
 impl SpikeTransform for IdentityTransform {
     fn apply(&self, raster: &SpikeRaster, _rng: &mut dyn RngCore) -> SpikeRaster {
         raster.clone()
+    }
+
+    fn apply_into(&self, raster: &SpikeRaster, out: &mut SpikeRaster, _rng: &mut dyn RngCore) {
+        out.copy_from(raster);
+    }
+
+    fn apply_in_place(&self, _raster: &mut SpikeRaster, _rng: &mut dyn RngCore) {}
+
+    fn is_identity(&self) -> bool {
+        true
     }
 
     fn describe(&self) -> String {
@@ -272,10 +423,42 @@ impl SnnNetwork {
     /// Simulates one inference under `coding`, injecting `noise` into every
     /// transmitted spike raster (including the input raster).
     ///
+    /// This is a thin wrapper over a one-shot [`SimWorkspace`]; use
+    /// [`SnnNetwork::simulate_with`] or [`SnnNetwork::simulate_batch`] to
+    /// amortise the workspace across many samples.  Results are bit-identical
+    /// to [`SnnNetwork::simulate_unbuffered`].
+    ///
     /// # Errors
     /// Returns [`SnnError::InputMismatch`] if the input width is wrong or
     /// configuration errors from `cfg`.
     pub fn simulate(
+        &self,
+        input: &[f32],
+        coding: &dyn NeuralCoding,
+        cfg: &CodingConfig,
+        noise: &dyn SpikeTransform,
+        rng: &mut dyn RngCore,
+    ) -> Result<SimulationOutcome> {
+        let mut ws = SimWorkspace::new();
+        let outcome = self.simulate_with(input, coding, cfg, noise, rng, &mut ws)?;
+        Ok(SimulationOutcome {
+            logits: ws.logits().to_vec(),
+            predicted: outcome.predicted,
+            total_spikes: outcome.total_spikes,
+            spikes_per_layer: ws.spikes_per_layer().to_vec(),
+        })
+    }
+
+    /// The original allocate-per-call simulation, kept as the executable
+    /// reference for the workspace path: the `workspace_bit_identity`
+    /// integration tests assert byte-for-byte equality against
+    /// [`SnnNetwork::simulate`], and the `sim_throughput` bench measures the
+    /// allocating-vs-workspace speedup.
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InputMismatch`] if the input width is wrong or
+    /// configuration errors from `cfg`.
+    pub fn simulate_unbuffered(
         &self,
         input: &[f32],
         coding: &dyn NeuralCoding,
@@ -330,6 +513,154 @@ impl SnnNetwork {
         })
     }
 
+    /// Simulates one inference through a reusable [`SimWorkspace`],
+    /// returning the compact [`BatchOutcome`]; the logits and per-layer
+    /// spike counts stay readable from the workspace.
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InputMismatch`] if the input width is wrong or
+    /// configuration errors from `cfg`.
+    pub fn simulate_with(
+        &self,
+        input: &[f32],
+        coding: &dyn NeuralCoding,
+        cfg: &CodingConfig,
+        noise: &dyn SpikeTransform,
+        rng: &mut dyn RngCore,
+        ws: &mut SimWorkspace,
+    ) -> Result<BatchOutcome> {
+        cfg.validate()?;
+        if input.len() != self.input_width() {
+            return Err(SnnError::InputMismatch {
+                expected: self.input_width(),
+                actual: input.len(),
+            });
+        }
+        Ok(self.simulate_core(input, coding, cfg, noise, rng, ws))
+    }
+
+    /// Simulates the samples `range` of the rank-2 `inputs` tensor through
+    /// one shared workspace, appending one [`BatchOutcome`] per sample to
+    /// `out` (cleared first, capacity kept).
+    ///
+    /// Each sample is simulated with the RNG produced by
+    /// `rng_for(sample_index)`, so callers control per-sample determinism
+    /// (the sweep engine derives one seed per sample, making results
+    /// independent of batching and thread count).  The configuration is
+    /// validated **once** per call instead of once per sample.
+    ///
+    /// After warm-up, steady-state simulation through this entry point
+    /// performs zero heap allocations per sample (see the
+    /// `alloc_regression` integration test).
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InvalidConfig`] for a non-rank-2 input tensor or
+    /// an out-of-range sample range, [`SnnError::InputMismatch`] for a wrong
+    /// sample width, and configuration errors from `cfg`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_batch<R, F>(
+        &self,
+        inputs: &Tensor,
+        range: Range<usize>,
+        coding: &dyn NeuralCoding,
+        cfg: &CodingConfig,
+        noise: &dyn SpikeTransform,
+        mut rng_for: F,
+        ws: &mut SimWorkspace,
+        out: &mut Vec<BatchOutcome>,
+    ) -> Result<()>
+    where
+        F: FnMut(usize) -> R,
+        R: RngCore,
+    {
+        cfg.validate()?;
+        if inputs.shape().rank() != 2 {
+            return Err(SnnError::InvalidConfig(format!(
+                "simulate_batch expects a rank-2 input tensor, got shape {:?}",
+                inputs.dims()
+            )));
+        }
+        if inputs.dims()[1] != self.input_width() {
+            return Err(SnnError::InputMismatch {
+                expected: self.input_width(),
+                actual: inputs.dims()[1],
+            });
+        }
+        if range.end > inputs.dims()[0] {
+            return Err(SnnError::InvalidConfig(format!(
+                "sample range {}..{} exceeds the {} available rows",
+                range.start,
+                range.end,
+                inputs.dims()[0]
+            )));
+        }
+        out.clear();
+        for sample in range {
+            let row = inputs.row_slice(sample)?;
+            let mut rng = rng_for(sample);
+            out.push(self.simulate_core(row, coding, cfg, noise, &mut rng, ws));
+        }
+        Ok(())
+    }
+
+    /// The shared arithmetic core of every simulation path.  Assumes the
+    /// configuration and input width have been validated by the caller.
+    fn simulate_core(
+        &self,
+        input: &[f32],
+        coding: &dyn NeuralCoding,
+        cfg: &CodingConfig,
+        noise: &dyn SpikeTransform,
+        rng: &mut dyn RngCore,
+        ws: &mut SimWorkspace,
+    ) -> BatchOutcome {
+        let num_layers = self.layers.len();
+        // Grow (never shrink) the per-layer raster pools, so buffers reach a
+        // fixed point and later samples allocate nothing.
+        if ws.rasters.len() < num_layers {
+            ws.rasters.resize_with(num_layers, SpikeRaster::default);
+        }
+        if ws.received.len() < num_layers {
+            ws.received.resize_with(num_layers, SpikeRaster::default);
+        }
+        ws.spikes_per_layer.clear();
+        // Encode the input pixels as the first spike raster.  Pixels are in
+        // [0, 1]; the coding clamps to its ceiling.
+        encode_vector_into(input, coding, cfg, &mut ws.rasters[0]);
+        // Skipping an identity transform is exact: it would neither change
+        // the raster nor consume randomness (see SpikeTransform::is_identity).
+        let skip_noise = noise.is_identity();
+
+        for (index, layer) in self.layers.iter().enumerate() {
+            // Synaptic noise corrupts the spikes actually transmitted to
+            // this layer.
+            let received = if skip_noise {
+                &ws.rasters[index]
+            } else {
+                noise.apply_into(&ws.rasters[index], &mut ws.received[index], rng);
+                &ws.received[index]
+            };
+            ws.spikes_per_layer.push(received.total_spikes());
+
+            // Integrate the received trains through the coding's PSC kernel.
+            coding.decode_into(received, cfg, &mut ws.decoded);
+
+            layer.forward_analog_into(&ws.decoded, &mut ws.conv, &mut ws.activation);
+            let is_last = index + 1 == num_layers;
+            if !is_last {
+                for v in &mut ws.activation {
+                    *v = v.max(0.0);
+                }
+                encode_vector_into(&ws.activation, coding, cfg, &mut ws.rasters[index + 1]);
+            }
+        }
+
+        BatchOutcome {
+            predicted: argmax(&ws.activation),
+            total_spikes: ws.spikes_per_layer.iter().sum(),
+        }
+    }
+
     /// Simulates every row of `inputs` and reports accuracy and spike
     /// statistics against `labels`.
     ///
@@ -352,11 +683,21 @@ impl SnnNetwork {
                 labels.len()
             )));
         }
+        // One workspace amortised over the whole evaluation; the coding
+        // configuration is validated once instead of once per sample.
+        cfg.validate()?;
+        if inputs.dims()[1] != self.input_width() {
+            return Err(SnnError::InputMismatch {
+                expected: self.input_width(),
+                actual: inputs.dims()[1],
+            });
+        }
+        let mut ws = SimWorkspace::new();
         let mut correct = 0usize;
         let mut total_spikes = 0usize;
         for (i, &label) in labels.iter().enumerate() {
-            let row = inputs.row(i)?;
-            let outcome = self.simulate(row.as_slice(), coding, cfg, noise, rng)?;
+            let row = inputs.row_slice(i)?;
+            let outcome = self.simulate_core(row, coding, cfg, noise, rng, &mut ws);
             if outcome.predicted == label {
                 correct += 1;
             }
@@ -395,6 +736,19 @@ impl EvaluationSummary {
 fn encode_vector(values: &[f32], coding: &dyn NeuralCoding, cfg: &CodingConfig) -> SpikeRaster {
     let trains = values.iter().map(|&v| coding.encode(v, cfg)).collect();
     SpikeRaster::from_trains(trains, cfg.time_steps)
+}
+
+/// Allocation-free sibling of [`encode_vector`]: refills `raster` in place
+/// (one train per value), producing the identical raster.
+fn encode_vector_into(
+    values: &[f32],
+    coding: &dyn NeuralCoding,
+    cfg: &CodingConfig,
+    raster: &mut SpikeRaster,
+) {
+    raster.fill_trains(values.len(), cfg.time_steps, |i, train| {
+        coding.encode_into(values[i], cfg, train);
+    });
 }
 
 fn argmax(values: &[f32]) -> usize {

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(raster.total_spikes(), 4);
 /// assert_eq!(raster.train(1), &[] as &[u32]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpikeRaster {
     num_steps: u32,
     trains: Vec<Vec<u32>>,
@@ -58,13 +58,7 @@ impl SpikeRaster {
     /// # Panics
     /// Panics if `neuron` is out of range.
     pub fn set_train(&mut self, neuron: usize, mut times: Vec<u32>) {
-        let max = self.num_steps.saturating_sub(1);
-        for t in &mut times {
-            if *t > max {
-                *t = max;
-            }
-        }
-        times.sort_unstable();
+        normalize_train(&mut times, self.num_steps);
         self.trains[neuron] = times;
     }
 
@@ -112,6 +106,87 @@ impl SpikeRaster {
             .collect();
         SpikeRaster::from_trains(trains, self.num_steps)
     }
+
+    /// Allocation-free sibling of [`SpikeRaster::map_trains`]: maps every
+    /// train of `self` into the corresponding (cleared) train buffer of
+    /// `dst`, reusing `dst`'s allocations.
+    ///
+    /// `f` receives `(neuron, source_train, destination_buffer)` in neuron
+    /// order — noise models that draw randomness per spike therefore consume
+    /// their RNG in exactly the same order as the allocating path.  The
+    /// produced trains are clamped and sorted like [`SpikeRaster::set_train`]
+    /// does, so the result is identical to `self.map_trains(f)`.
+    pub fn map_trains_into<F>(&self, dst: &mut SpikeRaster, mut f: F)
+    where
+        F: FnMut(usize, &[u32], &mut Vec<u32>),
+    {
+        dst.num_steps = self.num_steps;
+        dst.trains.resize_with(self.trains.len(), Vec::new);
+        for (i, src) in self.trains.iter().enumerate() {
+            let out = &mut dst.trains[i];
+            out.clear();
+            f(i, src, out);
+            normalize_train(out, self.num_steps);
+        }
+    }
+
+    /// Rebuilds the raster in place for `num_neurons` neurons over
+    /// `num_steps` steps, filling every train through `f` while reusing the
+    /// existing per-train buffers.
+    ///
+    /// `f` receives `(neuron, train_buffer)` with the buffer already
+    /// cleared; after `f` returns the train is clamped and sorted exactly
+    /// like [`SpikeRaster::set_train`], so the result is identical to
+    /// [`SpikeRaster::from_trains`] over the same trains.
+    pub fn fill_trains<F>(&mut self, num_neurons: usize, num_steps: u32, mut f: F)
+    where
+        F: FnMut(usize, &mut Vec<u32>),
+    {
+        self.num_steps = num_steps;
+        self.trains.resize_with(num_neurons, Vec::new);
+        for (i, train) in self.trains.iter_mut().enumerate() {
+            train.clear();
+            f(i, train);
+            normalize_train(train, num_steps);
+        }
+    }
+
+    /// Mutates every train in place through `f` (in neuron order), then
+    /// re-normalises each like [`SpikeRaster::set_train`] (clamp to the
+    /// window, sort).  The allocation-free primitive behind in-place noise
+    /// transforms such as spike deletion (`Vec::retain`) and jitter.
+    pub fn update_trains<F>(&mut self, mut f: F)
+    where
+        F: FnMut(usize, &mut Vec<u32>),
+    {
+        for (i, train) in self.trains.iter_mut().enumerate() {
+            f(i, train);
+            normalize_train(train, self.num_steps);
+        }
+    }
+
+    /// Copies `other` into `self`, reusing `self`'s buffers (the
+    /// allocation-free counterpart of `*self = other.clone()`).
+    pub fn copy_from(&mut self, other: &SpikeRaster) {
+        self.num_steps = other.num_steps;
+        self.trains.resize_with(other.trains.len(), Vec::new);
+        for (dst, src) in self.trains.iter_mut().zip(&other.trains) {
+            dst.clone_from(src);
+        }
+    }
+}
+
+/// Clamps every time to the window and sorts — the shared normalisation of
+/// [`SpikeRaster::set_train`], [`SpikeRaster::fill_trains`] and
+/// [`SpikeRaster::map_trains_into`].
+fn normalize_train(times: &mut [u32], num_steps: u32) {
+    let max = num_steps.saturating_sub(1);
+    for t in times.iter_mut() {
+        if *t > max {
+            *t = max;
+        }
+    }
+    times.sort_unstable();
 }
 
 #[cfg(test)]
@@ -156,6 +231,39 @@ mod tests {
         let doubled = r.map_trains(|_, t| t.iter().map(|&x| x * 2).collect());
         assert_eq!(doubled.train(0), &[2, 4, 6]);
         assert_eq!(doubled.train(1), &[8]);
+    }
+
+    #[test]
+    fn map_trains_into_matches_map_trains() {
+        let r = SpikeRaster::from_trains(vec![vec![9, 3, 1], vec![], vec![20, 4]], 8);
+        let doubled = r.map_trains(|_, t| t.iter().map(|&x| x * 2).collect());
+        let mut reused = SpikeRaster::new(7, 99); // wrong shape: must be reset
+        r.map_trains_into(&mut reused, |_, t, out| {
+            out.extend(t.iter().map(|&x| x * 2))
+        });
+        assert_eq!(reused, doubled);
+        assert_eq!(reused.num_steps(), 8);
+    }
+
+    #[test]
+    fn fill_trains_matches_from_trains_and_reuses_buffers() {
+        let trains = vec![vec![5u32, 1, 30], vec![], vec![2]];
+        let reference = SpikeRaster::from_trains(trains.clone(), 16);
+        let mut r = SpikeRaster::from_trains(vec![vec![1, 2, 3, 4]], 4);
+        r.fill_trains(3, 16, |i, out| out.extend_from_slice(&trains[i]));
+        assert_eq!(r, reference);
+        // Refilling with fewer spikes keeps the raster consistent.
+        r.fill_trains(2, 16, |_, out| out.push(1));
+        assert_eq!(r.num_neurons(), 2);
+        assert_eq!(r.total_spikes(), 2);
+    }
+
+    #[test]
+    fn copy_from_replicates_any_shape() {
+        let src = SpikeRaster::from_trains(vec![vec![1, 2], vec![7]], 12);
+        let mut dst = SpikeRaster::new(5, 3);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -96,17 +96,41 @@ impl Conv2dGeometry {
 /// Returns [`TensorError::ShapeDataMismatch`] if `input.len()` does not match
 /// the geometry.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let mut out = Vec::new();
+    im2col_into(input, geom, &mut out)?;
+    Tensor::from_vec(out, &[geom.out_positions(), geom.patch_len()])
+}
+
+/// [`im2col`] into a reusable buffer: clears `out`, resizes it to
+/// `out_positions·patch_len` (keeping its capacity) and writes the unrolled
+/// patch matrix in row-major order.
+///
+/// # Errors
+/// Same as [`im2col`].
+pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Vec<f32>) -> Result<()> {
     if input.len() != geom.in_len() {
         return Err(TensorError::ShapeDataMismatch {
             elements: input.len(),
             expected: geom.in_len(),
         });
     }
+    out.clear();
+    out.resize(geom.out_positions() * geom.patch_len(), 0.0);
+    im2col_slices(input.as_slice(), geom, out);
+    Ok(())
+}
+
+/// Raw kernel behind [`im2col`]: unrolls a flat `C·H·W` input into the
+/// caller-provided patch matrix buffer, overwriting it.
+///
+/// # Panics
+/// Debug-asserts the slice lengths; callers validate shapes.
+pub fn im2col_slices(x: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), geom.in_len());
+    debug_assert_eq!(out.len(), geom.out_positions() * geom.patch_len());
     let (c, h, w) = (geom.in_channels, geom.in_height, geom.in_width);
     let k = geom.kernel;
     let (oh, ow) = (geom.out_height(), geom.out_width());
-    let x = input.as_slice();
-    let mut out = vec![0.0f32; oh * ow * geom.patch_len()];
     let mut row = 0usize;
     for oy in 0..oh {
         for ox in 0..ow {
@@ -130,7 +154,6 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             row += 1;
         }
     }
-    Tensor::from_vec(out, &[oh * ow, geom.patch_len()])
 }
 
 /// Scatters a patch matrix of shape `(out_positions, patch_len)` back into a
@@ -331,5 +354,23 @@ mod tests {
         let g = simple_geom();
         let bad = Tensor::zeros(&[5]);
         assert!(im2col(&bad, &g).is_err());
+        let mut buf = Vec::new();
+        assert!(im2col_into(&bad, &g, &mut buf).is_err());
+    }
+
+    #[test]
+    fn im2col_into_matches_allocating_path_and_reuses_capacity() {
+        let g = Conv2dGeometry::new(2, 4, 4, 3, 1, 1).unwrap();
+        let input = Tensor::from_vec((0..32).map(|v| v as f32 * 0.25 - 3.0).collect(), &[32])
+            .unwrap()
+            .reshape(&[32])
+            .unwrap();
+        let reference = im2col(&input, &g).unwrap();
+        let mut buf = vec![42.0f32; 3]; // dirty, wrongly sized: must be reset
+        im2col_into(&input, &g, &mut buf).unwrap();
+        assert_eq!(buf, reference.as_slice());
+        let cap = buf.capacity();
+        im2col_into(&input, &g, &mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap);
     }
 }

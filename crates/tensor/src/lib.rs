@@ -33,10 +33,13 @@ mod linalg;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry, Pool2dGeometry};
+pub use conv::{col2im, im2col, im2col_into, im2col_slices, Conv2dGeometry, Pool2dGeometry};
 pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};
-pub use linalg::{matmul, matvec, outer, transpose};
+pub use linalg::{
+    matmul, matmul_into, matmul_slices, matvec, matvec_into, matvec_slices, outer, transpose,
+    transpose_into, transpose_slices,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

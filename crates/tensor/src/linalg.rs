@@ -1,7 +1,134 @@
 //! Dense linear-algebra kernels: matrix multiplication, matrix-vector
 //! products, transposition and outer products.
+//!
+//! Every kernel exists in three forms that share one implementation, so the
+//! numeric result is bit-identical whichever entry point is used:
+//!
+//! * a raw slice kernel (`matmul_slices`, …) writing into a caller-provided
+//!   buffer — the allocation-free form used by the simulation workspace;
+//! * an `_into` variant (`matmul_into`, …) operating on [`Tensor`]s but
+//!   reusing the caller's output `Vec` (cleared and resized, capacity kept);
+//! * the original allocating function (`matmul`, …), now a thin wrapper that
+//!   allocates a fresh output and delegates to the `_into` variant.
 
 use crate::{Result, Tensor, TensorError};
+
+/// Raw kernel behind [`matmul`]: multiplies `a (m x k)` by `b (k x n)` into
+/// `out (m x n)`, overwriting it.
+///
+/// # Panics
+/// Debug-asserts the slice lengths; callers validate shapes.
+pub fn matmul_slices(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for o in out.iter_mut() {
+        *o = 0.0;
+    }
+    // ikj loop order keeps the inner loop contiguous over `b` and `out`.
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bkj;
+            }
+        }
+    }
+}
+
+/// Raw kernel behind [`matvec`]: multiplies `a (m x n)` by `x (n)` into
+/// `out (m)`, overwriting it.
+///
+/// # Panics
+/// Debug-asserts the slice lengths; callers validate shapes.
+pub fn matvec_slices(a: &[f32], m: usize, n: usize, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(out.len(), m);
+    for i in 0..m {
+        let row = &a[i * n..(i + 1) * n];
+        out[i] = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+    }
+}
+
+/// Raw kernel behind [`transpose`]: writes the transpose of `a (m x n)` into
+/// `out (n x m)`, overwriting it.
+///
+/// # Panics
+/// Debug-asserts the slice lengths; callers validate shapes.
+pub fn transpose_slices(a: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
+fn reuse(buffer: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    buffer.clear();
+    buffer.resize(len, 0.0);
+    buffer
+}
+
+/// [`matmul`] into a reusable buffer: clears `out`, resizes it to `m·n`
+/// (keeping its capacity) and writes the product.
+///
+/// # Errors
+/// Same as [`matmul`].
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+    ensure_rank(a, 2, "matmul")?;
+    ensure_rank(b, 2, "matmul")?;
+    let (m, k1) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k1 != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    matmul_slices(a.as_slice(), m, k1, b.as_slice(), n, reuse(out, m * n));
+    Ok(())
+}
+
+/// [`matvec`] into a reusable buffer: clears `out`, resizes it to `m`
+/// (keeping its capacity) and writes the product.
+///
+/// # Errors
+/// Same as [`matvec`].
+pub fn matvec_into(a: &Tensor, x: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+    ensure_rank(a, 2, "matvec")?;
+    ensure_rank(x, 1, "matvec")?;
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if x.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+            op: "matvec",
+        });
+    }
+    matvec_slices(a.as_slice(), m, n, x.as_slice(), reuse(out, m));
+    Ok(())
+}
+
+/// [`transpose`] into a reusable buffer: clears `out`, resizes it to `m·n`
+/// (keeping its capacity) and writes the transpose.
+///
+/// # Errors
+/// Same as [`transpose`].
+pub fn transpose_into(a: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+    ensure_rank(a, 2, "transpose")?;
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    transpose_slices(a.as_slice(), m, n, reuse(out, m * n));
+    Ok(())
+}
 
 /// Multiplies two rank-2 tensors: `(m x k) · (k x n) -> (m x n)`.
 ///
@@ -20,35 +147,9 @@ use crate::{Result, Tensor, TensorError};
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    ensure_rank(a, 2, "matmul")?;
-    ensure_rank(b, 2, "matmul")?;
-    let (m, k1) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
-    if k1 != k2 {
-        return Err(TensorError::ShapeMismatch {
-            lhs: a.dims().to_vec(),
-            rhs: b.dims().to_vec(),
-            op: "matmul",
-        });
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let mut out = vec![0.0f32; m * n];
-    // ikj loop order keeps the inner loop contiguous over `b` and `out`.
-    for i in 0..m {
-        for k in 0..k1 {
-            let aik = av[i * k1 + k];
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &bv[k * n..(k + 1) * n];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bkj;
-            }
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
+    let mut out = Vec::new();
+    matmul_into(a, b, &mut out)?;
+    Tensor::from_vec(out, &[a.dims()[0], b.dims()[1]])
 }
 
 /// Multiplies a rank-2 matrix `(m x n)` by a rank-1 vector of length `n`.
@@ -57,24 +158,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] for
 /// invalid operands.
 pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
-    ensure_rank(a, 2, "matvec")?;
-    ensure_rank(x, 1, "matvec")?;
-    let (m, n) = (a.dims()[0], a.dims()[1]);
-    if x.len() != n {
-        return Err(TensorError::ShapeMismatch {
-            lhs: a.dims().to_vec(),
-            rhs: x.dims().to_vec(),
-            op: "matvec",
-        });
-    }
-    let av = a.as_slice();
-    let xv = x.as_slice();
-    let mut out = vec![0.0f32; m];
-    for i in 0..m {
-        let row = &av[i * n..(i + 1) * n];
-        out[i] = row.iter().zip(xv).map(|(&a, &b)| a * b).sum();
-    }
-    Tensor::from_vec(out, &[m])
+    let mut out = Vec::new();
+    matvec_into(a, x, &mut out)?;
+    Tensor::from_vec(out, &[a.dims()[0]])
 }
 
 /// Transposes a rank-2 tensor.
@@ -82,16 +168,9 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
 /// # Errors
 /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
 pub fn transpose(a: &Tensor) -> Result<Tensor> {
-    ensure_rank(a, 2, "transpose")?;
-    let (m, n) = (a.dims()[0], a.dims()[1]);
-    let av = a.as_slice();
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = av[i * n + j];
-        }
-    }
-    Tensor::from_vec(out, &[n, m])
+    let mut out = Vec::new();
+    transpose_into(a, &mut out)?;
+    Tensor::from_vec(out, &[a.dims()[1], a.dims()[0]])
 }
 
 /// Outer product of two rank-1 tensors: `(m) ⊗ (n) -> (m x n)`.
@@ -204,6 +283,45 @@ mod tests {
         assert!(matvec(&v, &v).is_err());
         assert!(transpose(&v).is_err());
         assert!(outer(&m, &v).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels_bitwise() {
+        let a = Tensor::from_vec(vec![1.0, -2.5, 0.0, 4.0, 0.125, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, 1.0, -1.0, 2.0, 3.0, -0.75], &[3, 2]).unwrap();
+        let x = Tensor::from_slice(&[1.5, -0.5, 2.0]);
+
+        let mut buf = vec![9.0f32; 1]; // dirty, wrongly sized: must be reset
+        matmul_into(&a, &b, &mut buf).unwrap();
+        assert_eq!(buf, matmul(&a, &b).unwrap().into_vec());
+
+        matvec_into(&a, &x, &mut buf).unwrap();
+        assert_eq!(buf, matvec(&a, &x).unwrap().into_vec());
+
+        transpose_into(&a, &mut buf).unwrap();
+        assert_eq!(buf, transpose(&a).unwrap().into_vec());
+    }
+
+    #[test]
+    fn into_variants_reuse_capacity() {
+        let a = Tensor::eye(4);
+        let mut buf = Vec::with_capacity(64);
+        matmul_into(&a, &a, &mut buf).unwrap();
+        let cap = buf.capacity();
+        matmul_into(&a, &a, &mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf, Tensor::eye(4).into_vec());
+    }
+
+    #[test]
+    fn into_variants_validate_shapes() {
+        let v = Tensor::from_slice(&[1.0, 2.0]);
+        let m = Tensor::zeros(&[2, 3]);
+        let mut buf = Vec::new();
+        assert!(matmul_into(&m, &m, &mut buf).is_err());
+        assert!(matvec_into(&m, &m, &mut buf).is_err());
+        assert!(matvec_into(&m, &Tensor::from_slice(&[1.0]), &mut buf).is_err());
+        assert!(transpose_into(&v, &mut buf).is_err());
     }
 
     #[test]

@@ -133,6 +133,18 @@ impl Tensor {
         Ok(())
     }
 
+    /// Reuses this tensor as a zero-filled tensor of the given shape,
+    /// keeping the underlying buffer's capacity, and returns the data for
+    /// in-place filling.  This is the allocation-reusing primitive behind
+    /// the into-buffer forward paths.
+    pub fn reset_zeroed(&mut self, dims: &[usize]) -> &mut [f32] {
+        let shape = Shape::new(dims);
+        self.data.clear();
+        self.data.resize(shape.len(), 0.0);
+        self.shape = shape;
+        &mut self.data
+    }
+
     /// Reinterprets the tensor with a new shape holding the same number of
     /// elements.
     ///
@@ -332,6 +344,31 @@ impl Tensor {
         })
     }
 
+    /// Borrows the `row`-th row of a rank-2 tensor as a slice — the
+    /// allocation-free sibling of [`Tensor::row`], used by the batched
+    /// simulation engine to stream samples out of a dataset tensor.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2, or
+    /// [`TensorError::IndexOutOfBounds`] if the row is out of range.
+    pub fn row_slice(&self, row: usize) -> Result<&[f32]> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+                op: "row_slice",
+            });
+        }
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        if row >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![row],
+                shape: self.dims().to_vec(),
+            });
+        }
+        Ok(&self.data[row * cols..(row + 1) * cols])
+    }
+
     /// Stacks rank-1 tensors of equal length into a rank-2 tensor
     /// (`rows.len() x len`).
     ///
@@ -486,6 +523,18 @@ mod tests {
     }
 
     #[test]
+    fn reset_zeroed_reshapes_and_keeps_capacity() {
+        let mut t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let cap = t.data.capacity();
+        let data = t.reset_zeroed(&[2, 2]);
+        assert_eq!(data, &[0.0; 4]);
+        data[3] = 7.0;
+        assert_eq!(t.dims(), &[2, 2]);
+        assert_eq!(t.get(&[1, 1]).unwrap(), 7.0);
+        assert!(t.data.capacity() >= 4 && cap >= t.data.capacity());
+    }
+
+    #[test]
     fn reshape_preserves_data() {
         let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
         let r = t.reshape(&[2, 2]).unwrap();
@@ -498,6 +547,15 @@ mod tests {
         let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
         assert_eq!(t.row(1).unwrap().as_slice(), &[4.0, 5.0, 6.0]);
         assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn row_slice_borrows_without_copying() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.row_slice(0).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.row_slice(1).unwrap(), t.row(1).unwrap().as_slice());
+        assert!(t.row_slice(2).is_err());
+        assert!(Tensor::from_slice(&[1.0]).row_slice(0).is_err());
     }
 
     #[test]
