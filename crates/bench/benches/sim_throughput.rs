@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nrsnn::prelude::*;
-use nrsnn_bench::{bench_sweep_config, cifar10_pipeline};
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, record_bench_summary};
 use nrsnn_runtime::derive_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -119,6 +119,16 @@ fn throughput_report(w: &Workload) {
     println!("{:<24}{:>16.1}", "allocating (reference)", alloc_rate);
     println!("{:<24}{:>16.1}", "workspace (batched)", ws_rate);
     println!("workspace speedup: {:.2}x\n", ws_rate / alloc_rate);
+
+    // Machine-readable perf trajectory, tracked across PRs.
+    record_bench_summary(
+        "sim_throughput",
+        &[
+            ("allocating_samples_per_s", alloc_rate),
+            ("workspace_samples_per_s", ws_rate),
+            ("workspace_speedup", ws_rate / alloc_rate),
+        ],
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -85,6 +85,54 @@ pub fn print_figure(title: &str, points: &[SweepPoint], x_label: &str) {
     println!("{}", format_sweep_table(points, x_label));
 }
 
+/// Path of the machine-readable bench summary: `$NRSNN_BENCH_JSON` if set,
+/// otherwise `BENCH_sim.json` at the workspace root.
+pub fn bench_summary_path() -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("NRSNN_BENCH_JSON") {
+        return std::path::PathBuf::from(path);
+    }
+    // CARGO_MANIFEST_DIR is crates/bench; the summary lives at the root so
+    // the perf trajectory is tracked in version control across PRs.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sim.json")
+}
+
+/// Merges one bench's results into the shared `BENCH_sim.json` summary.
+///
+/// The file is one JSON object keyed by bench section (`"sim_throughput"`,
+/// `"serve_throughput"`, …); each section is an object of numeric metrics.
+/// Existing sections written by other benches are preserved, so benches can
+/// run in any order and the file accumulates the full perf picture.
+pub fn record_bench_summary(section: &str, entries: &[(&str, f64)]) {
+    record_bench_summary_at(&bench_summary_path(), section, entries);
+}
+
+/// [`record_bench_summary`] against an explicit file path.
+pub fn record_bench_summary_at(path: &std::path::Path, section: &str, entries: &[(&str, f64)]) {
+    let mut root: Vec<(String, serde_json::Value)> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+        .and_then(|value| value.as_object().map(<[_]>::to_vec))
+        .unwrap_or_default();
+    let section_value = serde_json::Value::Object(
+        entries
+            .iter()
+            .map(|(key, value)| ((*key).to_string(), serde_json::Value::Number(*value)))
+            .collect(),
+    );
+    match root.iter_mut().find(|(key, _)| key == section) {
+        Some((_, value)) => *value = section_value,
+        None => root.push((section.to_string(), section_value)),
+    }
+    let text = format!("{}\n", serde_json::Value::Object(root));
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("bench summary updated: {}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +142,36 @@ mod tests {
         let cfg = bench_sweep_config();
         assert!(cfg.validate().is_ok());
         assert!(cfg.eval_samples <= 64);
+    }
+
+    #[test]
+    fn bench_summary_merges_sections_instead_of_clobbering() {
+        let dir = std::env::temp_dir().join("nrsnn_bench_summary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        std::fs::remove_file(&path).ok();
+
+        record_bench_summary_at(&path, "sim_throughput", &[("samples_per_s", 100.0)]);
+        record_bench_summary_at(&path, "serve_throughput", &[("batched_rps", 42.5)]);
+        // Re-recording a section replaces it while the other survives.
+        record_bench_summary_at(&path, "sim_throughput", &[("samples_per_s", 120.0)]);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            value
+                .get("sim_throughput")
+                .and_then(|s| s.get("samples_per_s"))
+                .and_then(serde_json::Value::as_f64),
+            Some(120.0)
+        );
+        assert_eq!(
+            value
+                .get("serve_throughput")
+                .and_then(|s| s.get("batched_rps"))
+                .and_then(serde_json::Value::as_f64),
+            Some(42.5)
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

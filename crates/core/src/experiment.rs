@@ -91,7 +91,7 @@ impl SweepPoint {
 }
 
 fn noise_for_deletion(probability: f64) -> Result<Box<dyn SpikeTransform>> {
-    if probability <= 0.0 {
+    if probability == 0.0 {
         Ok(Box::new(IdentityTransform))
     } else {
         Ok(Box::new(DeletionNoise::new(probability)?))
@@ -99,11 +99,47 @@ fn noise_for_deletion(probability: f64) -> Result<Box<dyn SpikeTransform>> {
 }
 
 fn noise_for_jitter(sigma: f64) -> Result<Box<dyn SpikeTransform>> {
-    if sigma <= 0.0 {
+    if sigma == 0.0 {
         Ok(Box::new(IdentityTransform))
     } else {
         Ok(Box::new(JitterNoise::new(sigma)?))
     }
+}
+
+/// Rejects degenerate deletion-probability grids before any work is
+/// scheduled: every `p` must be a finite number in `[0, 1]`, and with
+/// weight scaling enabled additionally `p < 1` — `C = 1/(1−p)` diverges at
+/// `p = 1`, which the builder previously papered over by silently skipping
+/// the compensation.
+fn validate_deletion_levels(probabilities: &[f64], weight_scaling: bool) -> Result<()> {
+    for &p in probabilities {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(NrsnnError::InvalidConfig(format!(
+                "deletion probability must be a finite number in [0, 1], got {p}"
+            )));
+        }
+        if weight_scaling && p >= 1.0 {
+            return Err(NrsnnError::InvalidConfig(format!(
+                "weight scaling requires deletion probability < 1 \
+                 (the compensation factor C = 1/(1-p) diverges), got {p}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Rejects degenerate jitter grids: every `σ` must be finite and
+/// non-negative (a negative σ previously slipped through as a silent
+/// identity transform instead of an error).
+fn validate_jitter_levels(sigmas: &[f64]) -> Result<()> {
+    for &sigma in sigmas {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(NrsnnError::InvalidConfig(format!(
+                "jitter sigma must be a finite non-negative number, got {sigma}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Builder for a spike-deletion sweep (Figs. 2, 4, 7 and Table I).
@@ -171,17 +207,20 @@ impl DeletionSweep {
     /// `(noise level, coding)`.
     ///
     /// # Errors
-    /// Returns [`NrsnnError::InvalidConfig`] for an empty coding list and
-    /// propagates conversion/simulation errors.
+    /// Returns [`NrsnnError::InvalidConfig`] for an empty coding list, for
+    /// probabilities outside `[0, 1]` (or `NaN`), and — with weight scaling
+    /// enabled — for `p = 1`, where `C = 1/(1−p)` diverges; propagates
+    /// conversion/simulation errors.
     pub fn run(&self, pipeline: &TrainedPipeline) -> Result<Vec<SweepPoint>> {
         self.config.validate()?;
         if self.codings.is_empty() {
             return Err(NrsnnError::InvalidConfig("no codings selected".to_string()));
         }
+        validate_deletion_levels(&self.probabilities, self.weight_scaling)?;
         let mut specs = Vec::with_capacity(self.codings.len() * self.probabilities.len());
         for &coding in &self.codings {
             for &p in &self.probabilities {
-                let scaling = if self.weight_scaling && p > 0.0 && p < 1.0 {
+                let scaling = if self.weight_scaling && p > 0.0 {
                     WeightScaling::for_deletion_probability(p)?
                 } else {
                     WeightScaling::none()
@@ -248,13 +287,15 @@ impl JitterSweep {
     /// `(noise level, coding)`.
     ///
     /// # Errors
-    /// Returns [`NrsnnError::InvalidConfig`] for an empty coding list and
-    /// propagates conversion/simulation errors.
+    /// Returns [`NrsnnError::InvalidConfig`] for an empty coding list or a
+    /// negative/non-finite sigma, and propagates conversion/simulation
+    /// errors.
     pub fn run(&self, pipeline: &TrainedPipeline) -> Result<Vec<SweepPoint>> {
         self.config.validate()?;
         if self.codings.is_empty() {
             return Err(NrsnnError::InvalidConfig("no codings selected".to_string()));
         }
+        validate_jitter_levels(&self.sigmas)?;
         let mut specs = Vec::with_capacity(self.codings.len() * self.sigmas.len());
         for &coding in &self.codings {
             for &sigma in &self.sigmas {
@@ -402,6 +443,45 @@ mod tests {
         let pipeline = tiny_pipeline();
         assert!(deletion_sweep(&pipeline, &[], &[0.0], false, &tiny_sweep()).is_err());
         assert!(jitter_sweep(&pipeline, &[], &[0.0], &tiny_sweep()).is_err());
+    }
+
+    #[test]
+    fn degenerate_deletion_levels_rejected_with_typed_errors() {
+        let pipeline = tiny_pipeline();
+        let codings = [CodingKind::Rate];
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let result = deletion_sweep(&pipeline, &codings, &[0.0, bad], false, &tiny_sweep());
+            assert!(
+                matches!(result, Err(NrsnnError::InvalidConfig(_))),
+                "p = {bad} should be rejected"
+            );
+        }
+        // p = 1 (delete everything) is a valid grid point without weight
+        // scaling ...
+        assert!(DeletionSweep::new(&codings, &[1.0])
+            .config(tiny_sweep())
+            .run(&pipeline)
+            .is_ok());
+        // ... but with weight scaling C = 1/(1-p) diverges: typed error
+        // instead of the old silent skip of the compensation.
+        let result = DeletionSweep::new(&codings, &[1.0])
+            .weight_scaling(true)
+            .config(tiny_sweep())
+            .run(&pipeline);
+        assert!(matches!(result, Err(NrsnnError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn degenerate_jitter_levels_rejected_with_typed_errors() {
+        let pipeline = tiny_pipeline();
+        let codings = [CodingKind::Ttfs];
+        for bad in [-0.5, f64::NAN, f64::INFINITY] {
+            let result = jitter_sweep(&pipeline, &codings, &[bad], &tiny_sweep());
+            assert!(
+                matches!(result, Err(NrsnnError::InvalidConfig(_))),
+                "sigma = {bad} should be rejected"
+            );
+        }
     }
 
     #[test]

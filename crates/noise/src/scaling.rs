@@ -116,6 +116,8 @@ mod tests {
         assert!(WeightScaling::with_factor(0.0).is_err());
         assert!(WeightScaling::with_factor(-2.0).is_err());
         assert!(WeightScaling::with_factor(f32::INFINITY).is_err());
+        assert!(WeightScaling::with_factor(f32::NAN).is_err());
+        assert!(WeightScaling::for_deletion_probability(f64::NAN).is_err());
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   costs (deep CNN points next to cheap MLP points) still load-balance.
 //!   Results are reassembled **by task index**, so the output order never
 //!   depends on scheduling.
+//! * [`WorkerPool`] — the *service* counterpart of the scoped pool: named,
+//!   long-lived worker threads that park on the caller's own queue and join
+//!   (with panic propagation) at shutdown.  The inference server in
+//!   `nrsnn-serve` runs its dynamic batcher on one of these.
 //! * [`derive_seed`] — a SplitMix64-style mix of a master seed and a task
 //!   index.  Giving every task its own derived RNG stream (instead of
 //!   threading one RNG through all tasks serially) is what makes the
@@ -69,7 +73,9 @@
 mod config;
 mod pool;
 mod seed;
+mod service;
 
 pub use config::{ParallelConfig, DEFAULT_BATCH_SIZE, THREADS_ENV_VAR};
 pub use pool::{parallel_map, parallel_map_init, try_parallel_map, try_parallel_map_init};
 pub use seed::derive_seed;
+pub use service::WorkerPool;

@@ -1,0 +1,192 @@
+//! Long-lived worker pools for services.
+//!
+//! The fork-join executor in [`crate::parallel_map`] spawns scoped workers
+//! per call, which is the right shape for batch sweeps but not for a
+//! *service*: an inference server needs worker threads that outlive any one
+//! request, park on a queue, and shut down gracefully when the service
+//! stops.  [`WorkerPool`] is that lifecycle hook — it owns named OS threads
+//! running a caller-supplied body and joins them on demand, propagating
+//! worker panics to the joiner so failures cannot disappear silently.
+//!
+//! The pool itself is queue-agnostic: the body is expected to block on the
+//! caller's own synchronisation (typically a `Mutex`/`Condvar` queue) and to
+//! return when the service signals shutdown.
+
+use std::io;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A set of long-lived named worker threads.
+///
+/// Unlike the scoped fork-join pool, the workers own their closure
+/// (`'static`) and live until the body returns — the intended shape is
+/// "loop on a shared queue until a shutdown flag is raised".
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use nrsnn_runtime::WorkerPool;
+///
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// let pool = {
+///     let hits = Arc::clone(&hits);
+///     WorkerPool::spawn("demo", 3, move |_worker| {
+///         hits.fetch_add(1, Ordering::SeqCst);
+///     })
+///     .expect("spawn workers")
+/// };
+/// assert_eq!(pool.threads(), 3);
+/// pool.join();
+/// assert_eq!(hits.load(Ordering::SeqCst), 3);
+/// ```
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least one) named `label-<index>`, each
+    /// running `body(index)` until it returns.
+    ///
+    /// # Errors
+    /// Returns the OS error if a thread cannot be spawned; workers spawned
+    /// before the failure are detached and drain naturally once the caller's
+    /// shutdown signal reaches them.
+    pub fn spawn<F>(label: &str, threads: usize, body: F) -> io::Result<WorkerPool>
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        let mut handles = Vec::with_capacity(threads.max(1));
+        for index in 0..threads.max(1) {
+            let body = Arc::clone(&body);
+            let handle = std::thread::Builder::new()
+                .name(format!("{label}-{index}"))
+                .spawn(move || body(index))?;
+            handles.push(handle);
+        }
+        Ok(WorkerPool { handles })
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Waits for every worker body to return.
+    ///
+    /// # Panics
+    /// Re-raises the panic of the first panicked worker (after joining all
+    /// of them), so a crashed worker surfaces at the service's shutdown
+    /// point instead of vanishing with its thread.
+    pub fn join(self) {
+        let mut first_panic = None;
+        for handle in self.handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex};
+
+    #[test]
+    fn every_worker_runs_the_body_once() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let count = Arc::clone(&count);
+            WorkerPool::spawn("t", 4, move |_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap()
+        };
+        pool.join();
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn worker_indices_are_distinct() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let pool = {
+            let seen = Arc::clone(&seen);
+            WorkerPool::spawn("t", 3, move |index| {
+                seen.lock().unwrap().push(index);
+            })
+            .unwrap()
+        };
+        pool.join();
+        let mut indices = seen.lock().unwrap().clone();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let count = Arc::clone(&count);
+            WorkerPool::spawn("t", 0, move |_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap()
+        };
+        assert_eq!(pool.threads(), 1);
+        pool.join();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn workers_outlive_the_spawn_call_and_stop_on_signal() {
+        // A miniature service: workers park on a condvar until shutdown.
+        struct Gate {
+            stop: Mutex<bool>,
+            cv: Condvar,
+        }
+        let gate = Arc::new(Gate {
+            stop: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let pool = {
+            let gate = Arc::clone(&gate);
+            WorkerPool::spawn("svc", 2, move |_| {
+                let mut stop = gate.stop.lock().unwrap();
+                while !*stop {
+                    stop = gate.cv.wait(stop).unwrap();
+                }
+            })
+            .unwrap()
+        };
+        *gate.stop.lock().unwrap() = true;
+        gate.cv.notify_all();
+        pool.join();
+    }
+
+    #[test]
+    fn join_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::spawn("boom", 2, |index| {
+                if index == 1 {
+                    panic!("worker exploded");
+                }
+            })
+            .unwrap();
+            pool.join();
+        });
+        assert!(result.is_err());
+    }
+}

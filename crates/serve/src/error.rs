@@ -1,0 +1,163 @@
+//! Error type of the serving subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong while loading models, submitting requests
+/// or running the server.
+///
+/// The error is `Clone` on purpose: a batch-level failure must be fanned
+/// out to every request waiting in that batch, and a wire error must be
+/// serialisable into a response without consuming the original.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue is full; the request was rejected, not
+    /// queued (explicit backpressure — retry later).
+    Busy {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The named model is not present in the registry.
+    UnknownModel(String),
+    /// The request's input width does not match the model's input layer.
+    InputMismatch {
+        /// The model that was addressed.
+        model: String,
+        /// Input width the model expects.
+        expected: usize,
+        /// Input width the request carried.
+        actual: usize,
+    },
+    /// The request was malformed (bad JSON, missing fields, non-finite
+    /// input values, …).
+    InvalidRequest(String),
+    /// A model file or model specification could not be loaded.
+    Model(String),
+    /// The simulation engine rejected the batch.
+    Simulation(String),
+    /// The server failed internally before answering (e.g. the batcher
+    /// worker that claimed the request crashed).
+    Internal(String),
+    /// An I/O failure in the TCP front-end.
+    Io(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code used on the wire (`"busy"`, …).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Busy { .. } => "busy",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::UnknownModel(_) => "unknown_model",
+            ServeError::InputMismatch { .. } => "input_mismatch",
+            ServeError::InvalidRequest(_) => "invalid_request",
+            ServeError::Model(_) => "model",
+            ServeError::Simulation(_) => "simulation",
+            ServeError::Internal(_) => "internal",
+            ServeError::Io(_) => "io",
+        }
+    }
+
+    /// Returns `true` if the request may simply be retried later
+    /// (backpressure rather than a caller mistake).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Busy { .. })
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy { capacity } => {
+                write!(f, "server busy: queue capacity {capacity} exhausted")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            ServeError::InputMismatch {
+                model,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "model {model:?} expects {expected} inputs, request carried {actual}"
+            ),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::Model(msg) => write!(f, "model error: {msg}"),
+            ServeError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+            ServeError::Internal(msg) => write!(f, "internal server error: {msg}"),
+            ServeError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<nrsnn_snn::SnnError> for ServeError {
+    fn from(e: nrsnn_snn::SnnError) -> Self {
+        ServeError::Simulation(e.to_string())
+    }
+}
+
+impl From<nrsnn_noise::NoiseError> for ServeError {
+    fn from(e: nrsnn_noise::NoiseError) -> Self {
+        ServeError::Model(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            ServeError::Busy { capacity: 4 },
+            ServeError::ShuttingDown,
+            ServeError::UnknownModel("m".into()),
+            ServeError::InputMismatch {
+                model: "m".into(),
+                expected: 2,
+                actual: 3,
+            },
+            ServeError::InvalidRequest("x".into()),
+            ServeError::Model("x".into()),
+            ServeError::Simulation("x".into()),
+            ServeError::Internal("x".into()),
+            ServeError::Io("x".into()),
+        ];
+        let codes: std::collections::HashSet<&str> = errors.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), errors.len());
+    }
+
+    #[test]
+    fn only_busy_is_retryable() {
+        assert!(ServeError::Busy { capacity: 1 }.is_retryable());
+        assert!(!ServeError::ShuttingDown.is_retryable());
+        assert!(!ServeError::UnknownModel("m".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_mentions_the_interesting_numbers() {
+        let e = ServeError::InputMismatch {
+            model: "fig7".into(),
+            expected: 3072,
+            actual: 784,
+        };
+        let text = e.to_string();
+        assert!(text.contains("3072") && text.contains("784") && text.contains("fig7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,341 @@
+//! Serving observability: counters, batch-size histogram and latency
+//! percentiles.
+//!
+//! Latencies are recorded into power-of-two microsecond buckets, so the
+//! reported p50/p99 are upper bounds accurate to within one octave while
+//! memory stays constant no matter how many requests pass through; the
+//! mean is exact.  Everything lives behind one mutex that is touched once
+//! per request and once per batch — negligible against millisecond-scale
+//! simulations.
+
+use std::sync::Mutex;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Number of power-of-two latency buckets (bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` microseconds); 40 octaves ≈ 12 days, comfortably more
+/// than any request latency.
+const LATENCY_BUCKETS: usize = 40;
+
+#[derive(Debug)]
+struct MetricsInner {
+    received: u64,
+    served: u64,
+    rejected_busy: u64,
+    failed: u64,
+    batches: u64,
+    batch_sizes: Vec<u64>,
+    latency_buckets: [u64; LATENCY_BUCKETS],
+    latency_sum_us: u64,
+    total_spikes: u64,
+}
+
+impl Default for MetricsInner {
+    fn default() -> Self {
+        MetricsInner {
+            received: 0,
+            served: 0,
+            rejected_busy: 0,
+            failed: 0,
+            batches: 0,
+            batch_sizes: Vec::new(),
+            latency_buckets: [0; LATENCY_BUCKETS],
+            latency_sum_us: 0,
+            total_spikes: 0,
+        }
+    }
+}
+
+/// Shared, thread-safe metrics sink of one server.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+fn latency_bucket(us: u64) -> usize {
+    ((63 - us.max(1).leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// Upper bound (exclusive) of a latency bucket in microseconds.
+fn bucket_ceiling(index: usize) -> u64 {
+    1u64 << (index + 1)
+}
+
+impl Metrics {
+    pub(crate) fn record_received(&self) {
+        self.inner.lock().expect("metrics lock").received += 1;
+    }
+
+    pub(crate) fn record_busy(&self) {
+        self.inner.lock().expect("metrics lock").rejected_busy += 1;
+    }
+
+    pub(crate) fn record_failed(&self, requests: u64) {
+        self.inner.lock().expect("metrics lock").failed += requests;
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.batches += 1;
+        if inner.batch_sizes.len() <= size {
+            inner.batch_sizes.resize(size + 1, 0);
+        }
+        inner.batch_sizes[size] += 1;
+    }
+
+    pub(crate) fn record_served(&self, latency_us: u64, spikes: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.served += 1;
+        inner.latency_buckets[latency_bucket(latency_us)] += 1;
+        inner.latency_sum_us += latency_us;
+        inner.total_spikes += spikes;
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        let inner = self.inner.lock().expect("metrics lock");
+        let percentile = |q: f64| -> u64 {
+            if inner.served == 0 {
+                return 0;
+            }
+            let rank = (q * inner.served as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (index, &count) in inner.latency_buckets.iter().enumerate() {
+                seen += count;
+                if seen >= rank {
+                    return bucket_ceiling(index);
+                }
+            }
+            bucket_ceiling(LATENCY_BUCKETS - 1)
+        };
+        let served = inner.served.max(1) as f64;
+        // Mean over *executed* batches, from the histogram itself — using
+        // served/batches instead would under-report whenever a batch's
+        // requests subsequently failed.
+        let batched_requests: u64 = inner
+            .batch_sizes
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        ServerStats {
+            requests_received: inner.received,
+            requests_served: inner.served,
+            rejected_busy: inner.rejected_busy,
+            failed: inner.failed,
+            batches: inner.batches,
+            batch_size_histogram: inner.batch_sizes.clone(),
+            mean_batch_size: if inner.batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / inner.batches as f64
+            },
+            p50_latency_us: percentile(0.50),
+            p99_latency_us: percentile(0.99),
+            mean_latency_us: if inner.served == 0 {
+                0.0
+            } else {
+                inner.latency_sum_us as f64 / served
+            },
+            total_spikes: inner.total_spikes,
+            spikes_per_inference: if inner.served == 0 {
+                0.0
+            } else {
+                inner.total_spikes as f64 / served
+            },
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server's counters, as returned by the
+/// `stats` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Validly-addressed submits, whether admitted or rejected for
+    /// backpressure: at quiescence
+    /// `requests_received == requests_served + failed + rejected_busy`.
+    pub requests_received: u64,
+    /// Requests answered successfully.
+    pub requests_served: u64,
+    /// Requests rejected with [`crate::ServeError::Busy`] (backpressure).
+    pub rejected_busy: u64,
+    /// Requests that failed after being queued.
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// `batch_size_histogram[s]` = number of executed batches of size `s`
+    /// (index 0 is always zero).
+    pub batch_size_histogram: Vec<u64>,
+    /// Mean requests per executed batch.
+    pub mean_batch_size: f64,
+    /// Median end-to-end latency (µs, upper bound of its power-of-two
+    /// bucket).
+    pub p50_latency_us: u64,
+    /// 99th-percentile end-to-end latency (µs, upper bound of its
+    /// power-of-two bucket).
+    pub p99_latency_us: u64,
+    /// Exact mean end-to-end latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Total spikes transmitted across all served inferences.
+    pub total_spikes: u64,
+    /// Mean spikes per served inference.
+    pub spikes_per_inference: f64,
+}
+
+impl Serialize for ServerStats {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "requests_received".to_string(),
+                self.requests_received.to_value(),
+            ),
+            (
+                "requests_served".to_string(),
+                self.requests_served.to_value(),
+            ),
+            ("rejected_busy".to_string(), self.rejected_busy.to_value()),
+            ("failed".to_string(), self.failed.to_value()),
+            ("batches".to_string(), self.batches.to_value()),
+            (
+                "batch_size_histogram".to_string(),
+                self.batch_size_histogram.to_value(),
+            ),
+            (
+                "mean_batch_size".to_string(),
+                self.mean_batch_size.to_value(),
+            ),
+            ("p50_latency_us".to_string(), self.p50_latency_us.to_value()),
+            ("p99_latency_us".to_string(), self.p99_latency_us.to_value()),
+            (
+                "mean_latency_us".to_string(),
+                self.mean_latency_us.to_value(),
+            ),
+            ("total_spikes".to_string(), self.total_spikes.to_value()),
+            (
+                "spikes_per_inference".to_string(),
+                self.spikes_per_inference.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ServerStats {
+    fn from_value(value: &Value) -> std::result::Result<Self, DeError> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| DeError::new(format!("stats missing field {key:?}")))
+        };
+        Ok(ServerStats {
+            requests_received: u64::from_value(field("requests_received")?)?,
+            requests_served: u64::from_value(field("requests_served")?)?,
+            rejected_busy: u64::from_value(field("rejected_busy")?)?,
+            failed: u64::from_value(field("failed")?)?,
+            batches: u64::from_value(field("batches")?)?,
+            batch_size_histogram: Vec::<u64>::from_value(field("batch_size_histogram")?)?,
+            mean_batch_size: f64::from_value(field("mean_batch_size")?)?,
+            p50_latency_us: u64::from_value(field("p50_latency_us")?)?,
+            p99_latency_us: u64::from_value(field("p99_latency_us")?)?,
+            mean_latency_us: f64::from_value(field("mean_latency_us")?)?,
+            total_spikes: u64::from_value(field("total_spikes")?)?,
+            spikes_per_inference: f64::from_value(field("spikes_per_inference")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_land_in_their_octave_buckets() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_traffic() {
+        let m = Metrics::default();
+        for _ in 0..10 {
+            m.record_received();
+        }
+        m.record_batch(4);
+        m.record_batch(6);
+        for i in 0..10u64 {
+            m.record_served(100 + i, 50);
+        }
+        m.record_busy();
+        let stats = m.snapshot();
+        assert_eq!(stats.requests_received, 10);
+        assert_eq!(stats.requests_served, 10);
+        assert_eq!(stats.rejected_busy, 1);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.mean_batch_size, 5.0);
+        assert_eq!(stats.batch_size_histogram[4], 1);
+        assert_eq!(stats.batch_size_histogram[6], 1);
+        assert_eq!(stats.total_spikes, 500);
+        assert_eq!(stats.spikes_per_inference, 50.0);
+        // 100..110 µs all fall into the [64, 128) bucket -> ceiling 128.
+        assert_eq!(stats.p50_latency_us, 128);
+        assert_eq!(stats.p99_latency_us, 128);
+        assert!((stats.mean_latency_us - 104.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_batch_size_counts_batched_requests_even_when_they_fail() {
+        let m = Metrics::default();
+        m.record_batch(8); // all 8 requests of this batch later fail
+        m.record_failed(8);
+        m.record_batch(4);
+        for _ in 0..4 {
+            m.record_served(10, 1);
+        }
+        let stats = m.snapshot();
+        assert_eq!(stats.mean_batch_size, 6.0); // (8 + 4) / 2, not 4 / 2
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_all_zero() {
+        let stats = Metrics::default().snapshot();
+        assert_eq!(stats.requests_served, 0);
+        assert_eq!(stats.p50_latency_us, 0);
+        assert_eq!(stats.mean_batch_size, 0.0);
+        assert_eq!(stats.spikes_per_inference, 0.0);
+    }
+
+    #[test]
+    fn p99_lands_in_the_tail_bucket() {
+        let m = Metrics::default();
+        for _ in 0..99 {
+            m.record_served(10, 0); // [8, 16) bucket
+        }
+        m.record_served(1_000_000, 0); // ~2^20 bucket
+        let stats = m.snapshot();
+        assert_eq!(stats.p50_latency_us, 16);
+        assert!(stats.p99_latency_us <= 16);
+        // The single outlier only shows up beyond p99.
+        let m2 = Metrics::default();
+        for _ in 0..50 {
+            m2.record_served(10, 0);
+        }
+        for _ in 0..50 {
+            m2.record_served(1_000_000, 0);
+        }
+        assert!(m2.snapshot().p99_latency_us > 1_000_000);
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let m = Metrics::default();
+        m.record_received();
+        m.record_batch(1);
+        m.record_served(250, 42);
+        let stats = m.snapshot();
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ServerStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

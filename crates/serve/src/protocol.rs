@@ -1,0 +1,419 @@
+//! The newline-delimited JSON wire protocol of the TCP front-end.
+//!
+//! Every request and every response is one compact JSON object on one line,
+//! discriminated by its `"type"` field:
+//!
+//! ```text
+//! -> {"type":"infer","model":"fig7","seed":"42","input":[0.1,0.9]}
+//! <- {"type":"infer","model":"fig7","predicted":1,"logits":[...],"total_spikes":512,"latency_us":830}
+//! -> {"type":"stats"}
+//! <- {"type":"stats","stats":{...}}
+//! -> {"type":"list_models"}
+//! <- {"type":"models","models":["fig7"]}
+//! -> {"type":"ping"}
+//! <- {"type":"pong"}
+//! <- {"type":"error","code":"busy","message":"server busy: ..."}
+//! ```
+//!
+//! Seeds travel as **strings** (`"seed":"42"`): JSON numbers are IEEE
+//! doubles, which would silently truncate seeds above 2^53 and break the
+//! bit-exact determinism contract.  Numeric seeds are still accepted on
+//! input when they are strictly below 2^53 (2^53 itself is rejected even
+//! though it is representable, because 2^53 + 1 collides with it after
+//! parsing and could not be told apart).
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::{ServeError, ServerStats};
+
+/// Largest integer exactly representable as an IEEE double (2^53).
+const MAX_EXACT_F64_INT: f64 = 9_007_199_254_740_992.0;
+
+/// Encodes a seed for the wire (always a decimal string).
+pub(crate) fn seed_to_value(seed: u64) -> Value {
+    Value::String(seed.to_string())
+}
+
+/// Decodes a seed from either a decimal string or an exactly-representable
+/// JSON number.
+pub(crate) fn seed_from_value(value: &Value) -> std::result::Result<u64, DeError> {
+    match value {
+        Value::String(s) => s
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| DeError::new(format!("seed {s:?} is not a u64"))),
+        Value::Number(n) => {
+            if n.fract() == 0.0 && (0.0..MAX_EXACT_F64_INT).contains(n) {
+                Ok(*n as u64)
+            } else {
+                Err(DeError::new(format!(
+                    "numeric seed {n} is not an exactly-representable non-negative integer; \
+                     send seeds as strings"
+                )))
+            }
+        }
+        other => Err(DeError::new(format!("expected seed, got {other:?}"))),
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify one input vector under the named model.
+    Infer {
+        /// Registry name of the model.
+        model: String,
+        /// Request seed; together with the model's master seed it fully
+        /// determines the noise realisation (see
+        /// [`nrsnn_runtime::derive_seed`]).
+        seed: u64,
+        /// Dense input vector (must match the model's input width).
+        input: Vec<f32>,
+    },
+    /// Fetch the server's metrics snapshot.
+    Stats,
+    /// List the registered model names.
+    ListModels,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Infer { model, seed, input } => Value::Object(vec![
+                ("type".to_string(), "infer".to_value()),
+                ("model".to_string(), model.to_value()),
+                ("seed".to_string(), seed_to_value(*seed)),
+                ("input".to_string(), input.to_value()),
+            ]),
+            Request::Stats => Value::Object(vec![("type".to_string(), "stats".to_value())]),
+            Request::ListModels => {
+                Value::Object(vec![("type".to_string(), "list_models".to_value())])
+            }
+            Request::Ping => Value::Object(vec![("type".to_string(), "ping".to_value())]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(value: &Value) -> std::result::Result<Self, DeError> {
+        let kind: String = value
+            .get("type")
+            .ok_or_else(|| DeError::new("request is missing \"type\""))
+            .and_then(String::from_value)?;
+        match kind.as_str() {
+            "infer" => {
+                let model = value
+                    .get("model")
+                    .ok_or_else(|| DeError::new("infer request is missing \"model\""))
+                    .and_then(String::from_value)?;
+                let seed = match value.get("seed") {
+                    Some(v) => seed_from_value(v)?,
+                    None => 0,
+                };
+                let input = value
+                    .get("input")
+                    .ok_or_else(|| DeError::new("infer request is missing \"input\""))
+                    .and_then(Vec::<f32>::from_value)?;
+                Ok(Request::Infer { model, seed, input })
+            }
+            "stats" => Ok(Request::Stats),
+            "list_models" => Ok(Request::ListModels),
+            "ping" => Ok(Request::Ping),
+            other => Err(DeError::new(format!("unknown request type {other:?}"))),
+        }
+    }
+}
+
+/// The successful result of one inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReply {
+    /// The model that served the request.
+    pub model: String,
+    /// Index of the winning output neuron.
+    pub predicted: usize,
+    /// Output-layer activations, bit-identical to the offline
+    /// `simulate_with` path for the same `(master_seed, request seed)`.
+    pub logits: Vec<f32>,
+    /// Total spikes transmitted during the inference (after noise).
+    pub total_spikes: usize,
+    /// End-to-end latency observed by the server (queue + batch wait +
+    /// simulation), in microseconds.
+    pub latency_us: u64,
+}
+
+impl Serialize for InferenceReply {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("type".to_string(), "infer".to_value()),
+            ("model".to_string(), self.model.to_value()),
+            ("predicted".to_string(), self.predicted.to_value()),
+            ("logits".to_string(), self.logits.to_value()),
+            ("total_spikes".to_string(), self.total_spikes.to_value()),
+            ("latency_us".to_string(), self.latency_us.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for InferenceReply {
+    fn from_value(value: &Value) -> std::result::Result<Self, DeError> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| DeError::new(format!("infer reply missing field {key:?}")))
+        };
+        Ok(InferenceReply {
+            model: String::from_value(field("model")?)?,
+            predicted: usize::from_value(field("predicted")?)?,
+            logits: Vec::<f32>::from_value(field("logits")?)?,
+            total_spikes: usize::from_value(field("total_spikes")?)?,
+            latency_us: u64::from_value(field("latency_us")?)?,
+        })
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful inference.
+    Infer(InferenceReply),
+    /// Metrics snapshot.
+    Stats(ServerStats),
+    /// Registered model names.
+    Models(Vec<String>),
+    /// Liveness answer.
+    Pong,
+    /// Any failure, carrying the stable error code and a human-readable
+    /// message.
+    Error {
+        /// Stable machine-readable code (see [`ServeError::code`]).
+        code: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Wraps a [`ServeError`] for the wire.
+    pub fn from_error(error: &ServeError) -> Response {
+        Response::Error {
+            code: error.code().to_string(),
+            message: error.to_string(),
+        }
+    }
+
+    /// Converts an error response back into a [`ServeError`] (best-effort:
+    /// the structured payload of the original error is not on the wire, so
+    /// at most the code survives — `"busy"` loses its capacity value, and
+    /// `"input_mismatch"` degrades to [`ServeError::InvalidRequest`]
+    /// because its model/width fields cannot be reconstructed from the
+    /// message).
+    pub fn into_result(self) -> std::result::Result<Response, ServeError> {
+        match self {
+            Response::Error { code, message } => Err(match code.as_str() {
+                "busy" => ServeError::Busy { capacity: 0 },
+                "shutting_down" => ServeError::ShuttingDown,
+                "unknown_model" => ServeError::UnknownModel(message),
+                "input_mismatch" => ServeError::InvalidRequest(message),
+                "model" => ServeError::Model(message),
+                "simulation" => ServeError::Simulation(message),
+                "internal" => ServeError::Internal(message),
+                "io" => ServeError::Io(message),
+                _ => ServeError::InvalidRequest(message),
+            }),
+            other => Ok(other),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Infer(reply) => reply.to_value(),
+            Response::Stats(stats) => Value::Object(vec![
+                ("type".to_string(), "stats".to_value()),
+                ("stats".to_string(), stats.to_value()),
+            ]),
+            Response::Models(models) => Value::Object(vec![
+                ("type".to_string(), "models".to_value()),
+                ("models".to_string(), models.to_value()),
+            ]),
+            Response::Pong => Value::Object(vec![("type".to_string(), "pong".to_value())]),
+            Response::Error { code, message } => Value::Object(vec![
+                ("type".to_string(), "error".to_value()),
+                ("code".to_string(), code.to_value()),
+                ("message".to_string(), message.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(value: &Value) -> std::result::Result<Self, DeError> {
+        let kind: String = value
+            .get("type")
+            .ok_or_else(|| DeError::new("response is missing \"type\""))
+            .and_then(String::from_value)?;
+        match kind.as_str() {
+            "infer" => Ok(Response::Infer(InferenceReply::from_value(value)?)),
+            "stats" => Ok(Response::Stats(ServerStats::from_value(
+                value
+                    .get("stats")
+                    .ok_or_else(|| DeError::new("stats response missing \"stats\""))?,
+            )?)),
+            "models" => Ok(Response::Models(
+                value
+                    .get("models")
+                    .ok_or_else(|| DeError::new("models response missing \"models\""))
+                    .and_then(Vec::<String>::from_value)?,
+            )),
+            "pong" => Ok(Response::Pong),
+            "error" => {
+                let field = |key: &str| {
+                    value
+                        .get(key)
+                        .ok_or_else(|| DeError::new(format!("error response missing {key:?}")))
+                        .and_then(String::from_value)
+                };
+                Ok(Response::Error {
+                    code: field("code")?,
+                    message: field("message")?,
+                })
+            }
+            other => Err(DeError::new(format!("unknown response type {other:?}"))),
+        }
+    }
+}
+
+/// Serializes a request or response as one newline-terminated wire line.
+pub fn encode_line<T: Serialize>(value: &T) -> String {
+    let mut line = serde_json::to_string(value).expect("shim serialization is infallible");
+    line.push('\n');
+    line
+}
+
+/// Parses one wire line into a request.
+///
+/// # Errors
+/// Returns [`ServeError::InvalidRequest`] on malformed JSON or schema
+/// mismatch.
+pub fn decode_request(line: &str) -> crate::Result<Request> {
+    serde_json::from_str(line.trim()).map_err(|e| ServeError::InvalidRequest(e.to_string()))
+}
+
+/// Parses one wire line into a response.
+///
+/// # Errors
+/// Returns [`ServeError::Io`] on malformed JSON or schema mismatch (a
+/// malformed response means the transport, not the request, is broken).
+pub fn decode_response(line: &str) -> crate::Result<Response> {
+    serde_json::from_str(line.trim()).map_err(|e| ServeError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_request_round_trips_including_large_seeds() {
+        let request = Request::Infer {
+            model: "fig7".to_string(),
+            seed: u64::MAX - 7,
+            input: vec![0.25, -1.5, 0.0, 3.5e-8],
+        };
+        let line = encode_line(&request);
+        assert!(line.ends_with('\n'));
+        let back = decode_request(&line).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn numeric_seeds_are_accepted_when_exact() {
+        let back = decode_request(r#"{"type":"infer","model":"m","seed":42,"input":[1]}"#).unwrap();
+        assert_eq!(
+            back,
+            Request::Infer {
+                model: "m".to_string(),
+                seed: 42,
+                input: vec![1.0],
+            }
+        );
+        // Fractional or negative numeric seeds are rejected, not truncated.
+        assert!(decode_request(r#"{"type":"infer","model":"m","seed":1.5,"input":[1]}"#).is_err());
+        assert!(decode_request(r#"{"type":"infer","model":"m","seed":-3,"input":[1]}"#).is_err());
+    }
+
+    #[test]
+    fn missing_seed_defaults_to_zero() {
+        let back = decode_request(r#"{"type":"infer","model":"m","input":[0.5]}"#).unwrap();
+        assert!(matches!(back, Request::Infer { seed: 0, .. }));
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for request in [Request::Stats, Request::ListModels, Request::Ping] {
+            let back = decode_request(&encode_line(&request)).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_invalid_request_errors() {
+        assert!(matches!(
+            decode_request("{not json"),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            decode_request(r#"{"type":"warp"}"#),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn logits_survive_the_wire_bit_for_bit() {
+        let logits = vec![
+            0.1f32,
+            -2.5e-7,
+            f32::MIN_POSITIVE,
+            123456.78,
+            -0.000123,
+            1.0 / 3.0,
+        ];
+        let reply = InferenceReply {
+            model: "m".to_string(),
+            predicted: 3,
+            logits: logits.clone(),
+            total_spikes: 99,
+            latency_us: 1234,
+        };
+        let back = decode_response(&encode_line(&Response::Infer(reply))).unwrap();
+        let Response::Infer(reply) = back else {
+            panic!("expected infer response");
+        };
+        assert_eq!(reply.logits.len(), logits.len());
+        for (a, b) in reply.logits.iter().zip(&logits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn error_responses_map_back_to_typed_errors() {
+        let wire = encode_line(&Response::from_error(&ServeError::Busy { capacity: 8 }));
+        let back = decode_response(&wire).unwrap().into_result();
+        assert!(matches!(back, Err(ServeError::Busy { .. })));
+        let wire = encode_line(&Response::from_error(&ServeError::ShuttingDown));
+        assert!(matches!(
+            decode_response(&wire).unwrap().into_result(),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn pong_and_models_round_trip() {
+        let back = decode_response(&encode_line(&Response::Pong)).unwrap();
+        assert_eq!(back, Response::Pong);
+        let models = Response::Models(vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(decode_response(&encode_line(&models)).unwrap(), models);
+    }
+}

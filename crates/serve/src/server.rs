@@ -1,0 +1,688 @@
+//! The server: worker lifecycle, the in-process [`Client`] and the TCP
+//! front-end.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! Client::infer / TCP line
+//!   └─ submit: resolve model, validate width, bounded-queue admit
+//!        ├─ queue full        -> ServeError::Busy (explicit rejection)
+//!        └─ queued            -> batcher worker claims + coalesces
+//!             └─ one simulate_batch_each per batch (warm SimWorkspace)
+//!                  └─ per request: logits copied out, slot fulfilled,
+//!                     metrics recorded
+//! ```
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] is graceful: new submits are rejected with
+//! [`ServeError::ShuttingDown`], already-queued requests are drained and
+//! answered, TCP accept/connection threads are woken and joined, then the
+//! worker pool is joined (propagating any worker panic).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use nrsnn_runtime::WorkerPool;
+
+use crate::batcher::{worker_loop, ServerCore};
+use crate::protocol::{decode_request, decode_response, encode_line, Request, Response};
+use crate::{InferenceReply, ModelRegistry, Result, ServeError, ServerConfig, ServerStats};
+
+/// How often a blocked TCP read re-checks the shutdown flag.
+const TCP_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How long the `infer_retrying` helpers keep retrying a
+/// [`ServeError::Busy`] rejection before giving up and returning it: a
+/// saturated server surfaces as a typed error, never as an infinite spin.
+pub const RETRY_BUDGET: Duration = Duration::from_secs(5);
+
+/// Pause between backpressure retries in the `infer_retrying` helpers.
+const RETRY_BACKOFF: Duration = Duration::from_micros(200);
+
+/// The shared retry loop behind both `infer_retrying` helpers: re-attempts
+/// while the error is retryable and the [`RETRY_BUDGET`] deadline has not
+/// passed, then returns the last error.
+fn retry_while_busy<F>(mut attempt: F) -> Result<InferenceReply>
+where
+    F: FnMut() -> Result<InferenceReply>,
+{
+    let deadline = std::time::Instant::now() + RETRY_BUDGET;
+    loop {
+        match attempt() {
+            Err(e) if e.is_retryable() && std::time::Instant::now() < deadline => {
+                std::thread::sleep(RETRY_BACKOFF);
+            }
+            other => return other,
+        }
+    }
+}
+
+/// A running inference server: the warm model registry, the dynamic
+/// batcher's worker pool and any number of TCP front-ends.
+pub struct Server {
+    core: Arc<ServerCore>,
+    workers: Option<WorkerPool>,
+    front_ends: Vec<TcpFrontEnd>,
+}
+
+impl Server {
+    /// Starts the batcher workers over a registry of warm models.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Model`] for an empty registry,
+    /// [`ServeError::InvalidRequest`] for an invalid configuration and
+    /// [`ServeError::Io`] if worker threads cannot be spawned.
+    pub fn start(registry: ModelRegistry, config: ServerConfig) -> Result<Server> {
+        config.validate()?;
+        if registry.is_empty() {
+            return Err(ServeError::Model(
+                "cannot start a server with no registered models".to_string(),
+            ));
+        }
+        let core = Arc::new(ServerCore::new(registry, config));
+        let spawned = {
+            let core = Arc::clone(&core);
+            WorkerPool::spawn("nrsnn-serve", config.effective_workers(), move |_| {
+                worker_loop(&core)
+            })
+        };
+        let workers = match spawned {
+            Ok(workers) => workers,
+            Err(e) => {
+                // A partial spawn failure detaches the workers that did
+                // start; signal shutdown so they exit instead of parking on
+                // the queue condvar (and pinning the registry) forever.
+                core.begin_shutdown();
+                return Err(e.into());
+            }
+        };
+        Ok(Server {
+            core,
+            workers: Some(workers),
+            front_ends: Vec::new(),
+        })
+    }
+
+    /// An in-process client handle (cheap to clone, usable from any
+    /// thread).
+    pub fn client(&self) -> Client {
+        Client {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Binds a TCP listener speaking the newline-delimited JSON protocol
+    /// and starts its accept thread; returns the bound address (use port
+    /// `0` for an ephemeral port).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Io`] if binding fails.
+    pub fn serve_tcp<A: ToSocketAddrs>(&mut self, addr: A) -> Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let core = Arc::clone(&self.core);
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name(format!("nrsnn-serve-accept-{}", local_addr.port()))
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match stream {
+                            Ok(stream) => {
+                                let core = Arc::clone(&core);
+                                let stop = Arc::clone(&stop);
+                                let handle = std::thread::spawn(move || {
+                                    handle_connection(&core, &stop, stream);
+                                });
+                                // Reap finished connections as we go so a
+                                // long-lived server does not accumulate one
+                                // dead JoinHandle per connection ever served.
+                                let mut list = connections.lock().expect("connection list");
+                                list.retain(|h| !h.is_finished());
+                                list.push(handle);
+                            }
+                            // accept() errors are transient (ECONNABORTED,
+                            // fd exhaustion, …): killing the listener would
+                            // leave the server running but unreachable.
+                            // Back off briefly and keep accepting; only the
+                            // stop flag ends the loop.
+                            Err(_) => std::thread::sleep(TCP_POLL_INTERVAL),
+                        }
+                    }
+                })?
+        };
+        self.front_ends.push(TcpFrontEnd {
+            addr: local_addr,
+            stop,
+            accept: Some(accept),
+            connections,
+        });
+        Ok(local_addr)
+    }
+
+    /// Addresses of the active TCP front-ends.
+    pub fn tcp_addrs(&self) -> Vec<SocketAddr> {
+        self.front_ends.iter().map(|f| f.addr).collect()
+    }
+
+    /// The current metrics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.core.metrics.snapshot()
+    }
+
+    /// Number of requests currently waiting in the submission queue (not
+    /// yet claimed by a batcher worker).
+    pub fn queue_depth(&self) -> usize {
+        self.core.queued()
+    }
+
+    /// Gracefully stops the server: rejects new requests, drains and
+    /// answers everything already queued, then joins the front-end and
+    /// worker threads.
+    ///
+    /// # Panics
+    /// Re-raises the panic of a crashed worker (see
+    /// [`WorkerPool::join`]).
+    pub fn shutdown(mut self) {
+        self.core.begin_shutdown();
+        for front_end in std::mem::take(&mut self.front_ends) {
+            front_end.stop();
+        }
+        if let Some(workers) = self.workers.take() {
+            workers.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Best-effort signal so threads unblock if the server is dropped
+        // without an explicit shutdown; handles not joined here.
+        self.core.begin_shutdown();
+        for front_end in &self.front_ends {
+            front_end.signal();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("models", &self.core.registry.names())
+            .field("workers", &self.workers.as_ref().map(WorkerPool::threads))
+            .field("tcp", &self.tcp_addrs())
+            .finish()
+    }
+}
+
+/// One bound TCP listener and its threads.
+struct TcpFrontEnd {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpFrontEnd {
+    /// Raises the stop flag and pokes the listener awake.
+    fn signal(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `incoming`; a throwaway connection
+        // makes it re-check the flag.  A wildcard bind address
+        // (0.0.0.0 / ::) is not connectable on every platform, so poke
+        // through loopback instead.
+        let mut target = self.addr;
+        if target.ip().is_unspecified() {
+            match target {
+                SocketAddr::V4(_) => target.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                SocketAddr::V6(_) => target.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+            }
+        }
+        let _ = TcpStream::connect(target);
+    }
+
+    /// Signals, then joins the accept thread and every connection thread.
+    fn stop(mut self) {
+        self.signal();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Writes the whole buffer, honouring the stream's write timeout: partial
+/// progress is tracked across timeouts (so framing survives), and the stop
+/// flag is re-checked on every timeout so a client that never drains its
+/// socket cannot block shutdown forever.  Returns `false` when the
+/// connection should be closed.
+fn write_all_polling(writer: &mut TcpStream, bytes: &[u8], stop: &AtomicBool) -> bool {
+    let mut written = 0;
+    while written < bytes.len() {
+        match writer.write(&bytes[written..]) {
+            Ok(0) => return false,
+            Ok(n) => written += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Serves one TCP connection: one request line in, one response line out,
+/// until EOF, error or server shutdown.
+fn handle_connection(core: &ServerCore, stop: &AtomicBool, stream: TcpStream) {
+    if stream.set_read_timeout(Some(TCP_POLL_INTERVAL)).is_err()
+        || stream.set_write_timeout(Some(TCP_POLL_INTERVAL)).is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Lines are accumulated as raw bytes: unlike `read_line`, `read_until`
+    // keeps everything already read in the buffer when the poll timeout
+    // fires, even if the timeout split a multi-byte UTF-8 character.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let text = String::from_utf8_lossy(&line);
+                if !text.trim().is_empty() {
+                    let response = process_line(core, &text);
+                    if !write_all_polling(&mut writer, encode_line(&response).as_bytes(), stop) {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Partial data stays in `line`; the next read appends the
+                // rest of the request.
+                if stop.load(Ordering::SeqCst) || core.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes and executes one request line (the connection thread blocks
+/// while its inference request is in flight — pipelining happens across
+/// connections, batching across requests).
+fn process_line(core: &ServerCore, line: &str) -> Response {
+    match decode_request(line) {
+        Err(e) => Response::from_error(&e),
+        Ok(Request::Ping) => Response::Pong,
+        Ok(Request::Stats) => Response::Stats(core.metrics.snapshot()),
+        Ok(Request::ListModels) => Response::Models(core.registry.names()),
+        Ok(Request::Infer { model, seed, input }) => {
+            match core
+                .submit(&model, input, seed)
+                .and_then(|slot| slot.wait())
+            {
+                Ok(reply) => Response::Infer(reply),
+                Err(e) => Response::from_error(&e),
+            }
+        }
+    }
+}
+
+/// In-process client of a running [`Server`].
+///
+/// Requests submitted here enter the same bounded queue and dynamic
+/// batcher as TCP requests, without serialization overhead.
+#[derive(Clone)]
+pub struct Client {
+    core: Arc<ServerCore>,
+}
+
+impl Client {
+    /// Classifies one input under the named model, blocking until the
+    /// batcher answers.
+    ///
+    /// # Errors
+    /// [`ServeError::Busy`] under backpressure (retryable),
+    /// [`ServeError::UnknownModel`] / [`ServeError::InputMismatch`] for bad
+    /// requests, [`ServeError::ShuttingDown`] during shutdown.
+    pub fn infer(&self, model: &str, input: &[f32], seed: u64) -> Result<InferenceReply> {
+        self.core.submit(model, input.to_vec(), seed)?.wait()
+    }
+
+    /// [`Client::infer`] that retries (with a tiny backoff) while the
+    /// server reports backpressure, for up to [`RETRY_BUDGET`].
+    ///
+    /// # Errors
+    /// Every non-retryable error immediately; the last
+    /// [`ServeError::Busy`] once the retry budget is exhausted.
+    pub fn infer_retrying(&self, model: &str, input: &[f32], seed: u64) -> Result<InferenceReply> {
+        retry_while_busy(|| self.infer(model, input, seed))
+    }
+
+    /// The server's current metrics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.core.metrics.snapshot()
+    }
+
+    /// Number of requests currently waiting in the submission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.core.queued()
+    }
+
+    /// Registered model names.
+    pub fn models(&self) -> Vec<String> {
+        self.core.registry.names()
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("models", &self.core.registry.names())
+            .finish()
+    }
+}
+
+/// Blocking TCP client speaking the newline-delimited JSON protocol
+/// (used by the load generator, the end-to-end tests and as a reference
+/// implementation for clients in other languages).
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a server's TCP front-end.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Io`] on connection failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the matching response line.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Io`] on transport failures or a malformed
+    /// response.
+    pub fn request(&mut self, request: &Request) -> Result<Response> {
+        self.writer
+            .write_all(encode_line(request).as_bytes())
+            .map_err(ServeError::from)?;
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line).map_err(ServeError::from)?;
+        if read == 0 {
+            return Err(ServeError::Io("server closed the connection".to_string()));
+        }
+        decode_response(&line)
+    }
+
+    /// Classifies one input under the named model.
+    ///
+    /// # Errors
+    /// Transport failures as [`ServeError::Io`]; server-side failures as
+    /// their decoded typed error (e.g. [`ServeError::Busy`]).
+    pub fn infer(&mut self, model: &str, input: &[f32], seed: u64) -> Result<InferenceReply> {
+        let response = self.request(&Request::Infer {
+            model: model.to_string(),
+            seed,
+            input: input.to_vec(),
+        })?;
+        match response.into_result()? {
+            Response::Infer(reply) => Ok(reply),
+            other => Err(ServeError::Io(format!(
+                "expected an infer response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// [`TcpClient::infer`] that retries while the server reports
+    /// backpressure, for up to [`RETRY_BUDGET`].
+    ///
+    /// # Errors
+    /// Every non-retryable error immediately; the last
+    /// [`ServeError::Busy`] once the retry budget is exhausted.
+    pub fn infer_retrying(
+        &mut self,
+        model: &str,
+        input: &[f32],
+        seed: u64,
+    ) -> Result<InferenceReply> {
+        retry_while_busy(|| self.infer(model, input, seed))
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    /// Transport failures as [`ServeError::Io`].
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        match self.request(&Request::Stats)?.into_result()? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ServeError::Io(format!(
+                "expected a stats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Lists the registered model names.
+    ///
+    /// # Errors
+    /// Transport failures as [`ServeError::Io`].
+    pub fn models(&mut self) -> Result<Vec<String>> {
+        match self.request(&Request::ListModels)?.into_result()? {
+            Response::Models(models) => Ok(models),
+            other => Err(ServeError::Io(format!(
+                "expected a models response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// Transport failures as [`ServeError::Io`].
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request(&Request::Ping)?.into_result()? {
+            Response::Pong => Ok(()),
+            other => Err(ServeError::Io(format!("expected pong, got {other:?}"))),
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClient").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoiseSpec, ServedModel};
+    use nrsnn_snn::{CodingConfig, CodingKind, SnnLayer, SnnNetwork};
+    use nrsnn_tensor::Tensor;
+
+    fn toy_registry() -> ModelRegistry {
+        let network = SnnNetwork::new(vec![SnnLayer::Linear {
+            weights: Tensor::from_vec(vec![1.0, -1.0, -1.0, 1.0], &[2, 2]).unwrap(),
+            bias: Tensor::zeros(&[2]),
+        }])
+        .unwrap();
+        let mut registry = ModelRegistry::new();
+        registry
+            .insert(
+                ServedModel::new(
+                    "toy",
+                    network,
+                    CodingKind::Rate,
+                    CodingConfig::new(32, 1.0),
+                    NoiseSpec::Deletion(0.2),
+                    1.0,
+                    99,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        registry
+    }
+
+    fn small_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            max_batch: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn start_rejects_empty_registry_and_bad_config() {
+        assert!(matches!(
+            Server::start(ModelRegistry::new(), ServerConfig::default()),
+            Err(ServeError::Model(_))
+        ));
+        assert!(Server::start(
+            toy_registry(),
+            ServerConfig {
+                max_batch: 0,
+                ..ServerConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn in_process_round_trip_and_stats() {
+        let server = Server::start(toy_registry(), small_config()).unwrap();
+        let client = server.client();
+        assert_eq!(client.models(), vec!["toy"]);
+        let reply = client.infer("toy", &[0.9, 0.1], 5).unwrap();
+        assert_eq!(reply.model, "toy");
+        assert_eq!(reply.predicted, 0);
+        assert_eq!(reply.logits.len(), 2);
+        let stats = client.stats();
+        assert_eq!(stats.requests_served, 1);
+        assert_eq!(stats.batches, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_in_process_clients_all_get_answers() {
+        let server = Server::start(toy_registry(), small_config()).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let client = server.client();
+                std::thread::spawn(move || {
+                    (0..8)
+                        .map(|i| {
+                            client
+                                .infer_retrying("toy", &[0.2, 0.8], (t * 8 + i) as u64)
+                                .unwrap()
+                                .predicted
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for thread in threads {
+            let predictions = thread.join().unwrap();
+            assert_eq!(predictions.len(), 8);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests_served, 32);
+        assert_eq!(stats.failed, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip_on_ephemeral_port() {
+        let mut server = Server::start(toy_registry(), small_config()).unwrap();
+        let addr = server.serve_tcp(("127.0.0.1", 0)).unwrap();
+        assert_eq!(server.tcp_addrs(), vec![addr]);
+        let mut client = TcpClient::connect(addr).unwrap();
+        client.ping().unwrap();
+        assert_eq!(client.models().unwrap(), vec!["toy"]);
+        let reply = client.infer("toy", &[0.1, 0.9], 3).unwrap();
+        assert_eq!(reply.predicted, 1);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.requests_served, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_errors_are_typed_on_the_client_side() {
+        let mut server = Server::start(toy_registry(), small_config()).unwrap();
+        let addr = server.serve_tcp(("127.0.0.1", 0)).unwrap();
+        let mut client = TcpClient::connect(addr).unwrap();
+        assert!(matches!(
+            client.infer("missing", &[0.0, 0.0], 0),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            client.infer("toy", &[0.0], 0),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        // A malformed line gets an error response, not a hangup.
+        client.writer.write_all(b"{broken\n").unwrap();
+        let mut line = String::new();
+        client.reader.read_line(&mut line).unwrap();
+        let response = decode_response(&line).unwrap();
+        assert!(matches!(response, Response::Error { .. }));
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_answers_queued_requests_and_rejects_new_ones() {
+        let server = Server::start(toy_registry(), small_config()).unwrap();
+        let client = server.client();
+        let reply = client.infer("toy", &[0.8, 0.2], 1).unwrap();
+        assert_eq!(reply.predicted, 0);
+        server.shutdown();
+        // The client outlives the server; new submits are refused, not hung.
+        assert!(matches!(
+            client.infer("toy", &[0.8, 0.2], 2),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+}

@@ -565,13 +565,49 @@ impl SnnNetwork {
         coding: &dyn NeuralCoding,
         cfg: &CodingConfig,
         noise: &dyn SpikeTransform,
-        mut rng_for: F,
+        rng_for: F,
         ws: &mut SimWorkspace,
         out: &mut Vec<BatchOutcome>,
     ) -> Result<()>
     where
         F: FnMut(usize) -> R,
         R: RngCore,
+    {
+        out.clear();
+        self.simulate_batch_each(inputs, range, coding, cfg, noise, rng_for, ws, |_, o, _| {
+            out.push(o);
+        })
+    }
+
+    /// [`SnnNetwork::simulate_batch`] with a per-sample sink: after each
+    /// sample, `each(sample, outcome, workspace)` is invoked while that
+    /// sample's logits and per-layer spike counts are still readable from
+    /// the workspace ([`SimWorkspace::logits`] /
+    /// [`SimWorkspace::spikes_per_layer`]).
+    ///
+    /// This is the entry point for callers that need per-sample dense
+    /// outputs without allocating one `Vec` per sample up front — the
+    /// `nrsnn-serve` dynamic batcher copies each request's logits into its
+    /// response buffer from here.  Samples are visited in `range` order.
+    ///
+    /// # Errors
+    /// Same contract as [`SnnNetwork::simulate_batch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_batch_each<R, F, G>(
+        &self,
+        inputs: &Tensor,
+        range: Range<usize>,
+        coding: &dyn NeuralCoding,
+        cfg: &CodingConfig,
+        noise: &dyn SpikeTransform,
+        mut rng_for: F,
+        ws: &mut SimWorkspace,
+        mut each: G,
+    ) -> Result<()>
+    where
+        F: FnMut(usize) -> R,
+        R: RngCore,
+        G: FnMut(usize, BatchOutcome, &SimWorkspace),
     {
         cfg.validate()?;
         if inputs.shape().rank() != 2 {
@@ -594,11 +630,11 @@ impl SnnNetwork {
                 inputs.dims()[0]
             )));
         }
-        out.clear();
         for sample in range {
             let row = inputs.row_slice(sample)?;
             let mut rng = rng_for(sample);
-            out.push(self.simulate_core(row, coding, cfg, noise, &mut rng, ws));
+            let outcome = self.simulate_core(row, coding, cfg, noise, &mut rng, ws);
+            each(sample, outcome, ws);
         }
         Ok(())
     }
@@ -958,6 +994,56 @@ mod tests {
             panic!("expected linear layer");
         };
         assert_eq!(weights.get(&[0, 0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn simulate_batch_each_exposes_per_sample_logits() {
+        let net = toy_network();
+        let cfg = CodingConfig::new(64, 1.0);
+        let coding = RateCoding::new();
+        let inputs =
+            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.5, 0.3, 0.7], &[4, 2]).unwrap();
+
+        // Reference: one simulate_with per row, logits copied out each time.
+        let mut expected = Vec::new();
+        let mut ws_ref = SimWorkspace::new();
+        for sample in 0..4 {
+            let mut rng = StdRng::seed_from_u64(100 + sample as u64);
+            let outcome = net
+                .simulate_with(
+                    inputs.row_slice(sample).unwrap(),
+                    &coding,
+                    &cfg,
+                    &IdentityTransform,
+                    &mut rng,
+                    &mut ws_ref,
+                )
+                .unwrap();
+            expected.push((outcome, ws_ref.logits().to_vec()));
+        }
+
+        let mut seen = Vec::new();
+        let mut ws = SimWorkspace::new();
+        net.simulate_batch_each(
+            &inputs,
+            0..4,
+            &coding,
+            &cfg,
+            &IdentityTransform,
+            |sample| StdRng::seed_from_u64(100 + sample as u64),
+            &mut ws,
+            |sample, outcome, ws| {
+                seen.push((sample, outcome, ws.logits().to_vec()));
+            },
+        )
+        .unwrap();
+
+        assert_eq!(seen.len(), 4);
+        for (sample, (index, outcome, logits)) in seen.into_iter().enumerate() {
+            assert_eq!(index, sample);
+            assert_eq!(outcome, expected[sample].0);
+            assert_eq!(logits, expected[sample].1, "sample {sample}");
+        }
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Load generator for the `nrsnn-serve` inference server: trains a small
+//! pipeline, exports the paper's robust configuration (TTAS + weight
+//! scaling) as a serialized model file, serves it over TCP on an ephemeral
+//! port, and drives it with N concurrent clients while printing throughput
+//! and the server's own metrics (batch histogram, p50/p99 latency,
+//! spikes/inference).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example serve_loadgen
+//! cargo run --release --example serve_loadgen -- --clients 8 --requests 32
+//! cargo run --release --example serve_loadgen -- --smoke   # tiny CI run
+//! NRSNN_THREADS=4 cargo run --release --example serve_loadgen
+//! ```
+
+use std::time::{Duration, Instant};
+
+use nrsnn::prelude::*;
+use nrsnn_serve::{ModelRegistry, ModelSpec, NoiseSpec, Server, ServerConfig, TcpClient};
+
+const MODEL: &str = "mnist-ttas5-ws";
+const MASTER_SEED: u64 = 2021;
+
+struct Options {
+    clients: usize,
+    requests_per_client: usize,
+    smoke: bool,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        clients: 4,
+        requests_per_client: 32,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--clients" => {
+                options.clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a positive integer");
+            }
+            "--requests" => {
+                options.requests_per_client = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs a positive integer");
+            }
+            "--smoke" => options.smoke = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: serve_loadgen [--clients N] [--requests M] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if options.smoke {
+        options.clients = options.clients.min(4);
+        options.requests_per_client = options.requests_per_client.min(8);
+    }
+    options
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = parse_options();
+
+    // 1. Train + convert the paper's robust configuration.
+    let mut pipeline_config = PipelineConfig::mnist_small();
+    if options.smoke {
+        pipeline_config.dataset = pipeline_config.dataset.with_samples(96, 48);
+        pipeline_config.epochs = 5;
+    }
+    println!("training MLP on {} ...", pipeline_config.dataset.name);
+    let pipeline = TrainedPipeline::build(&pipeline_config)?;
+    let robust = RobustSnnBuilder::new()
+        .burst_duration(5)
+        .expected_deletion(0.5)
+        .time_steps(if options.smoke { 64 } else { 96 })
+        .build(&pipeline)?;
+
+    // 2. Export the converted network as a serialized model file and load
+    //    it back through the registry — the same path a deployment uses.
+    let spec = ModelSpec::from_network(
+        MODEL,
+        &robust.network,
+        CodingKind::Ttas(5),
+        &robust.config,
+        NoiseSpec::Deletion(0.5),
+        robust.scaling.factor(),
+        MASTER_SEED,
+    );
+    let model_path = std::env::temp_dir().join("nrsnn_serve_loadgen_model.json");
+    std::fs::write(&model_path, spec.to_json())?;
+    println!(
+        "exported model file: {} ({} bytes)",
+        model_path.display(),
+        std::fs::metadata(&model_path)?.len()
+    );
+    let mut registry = ModelRegistry::new();
+    registry.load_file(&model_path)?;
+
+    // 3. Serve it over TCP on an ephemeral port.
+    let mut server = Server::start(
+        registry,
+        ServerConfig {
+            workers: 0, // auto (honours NRSNN_THREADS)
+            max_batch: 16,
+            batch_window: Duration::ZERO,
+            queue_capacity: 1024,
+        },
+    )?;
+    let addr = server.serve_tcp(("127.0.0.1", 0))?;
+    println!("serving {MODEL:?} on {addr} ...");
+
+    // 4. Drive it with N concurrent TCP clients.
+    let test_inputs = &pipeline.dataset().test.inputs;
+    let rows = test_inputs.dims()[0];
+    let total = options.clients * options.requests_per_client;
+    let start = Instant::now();
+    let clients: Vec<_> = (0..options.clients)
+        .map(|client_index| {
+            let inputs: Vec<Vec<f32>> = (0..options.requests_per_client)
+                .map(|r| {
+                    let index = client_index * options.requests_per_client + r;
+                    test_inputs.row_slice(index % rows).expect("row").to_vec()
+                })
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).expect("connect");
+                let mut answered = 0usize;
+                for (r, input) in inputs.iter().enumerate() {
+                    let seed = (client_index * 1_000 + r) as u64;
+                    let reply = client.infer_retrying(MODEL, input, seed).expect("infer");
+                    assert!(!reply.logits.is_empty());
+                    answered += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+    let mut answered = 0usize;
+    for client in clients {
+        answered += client.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(answered, total, "every request must receive a response");
+
+    // 5. Report.
+    let mut probe = TcpClient::connect(addr)?;
+    let stats = probe.stats()?;
+    println!("\n==== serve_loadgen report ====");
+    println!(
+        "{total} requests from {} clients in {elapsed:.2}s -> {:.1} requests/s",
+        options.clients,
+        total as f64 / elapsed
+    );
+    println!(
+        "served {} | busy-rejected {} | failed {} | batches {} (mean size {:.1})",
+        stats.requests_served,
+        stats.rejected_busy,
+        stats.failed,
+        stats.batches,
+        stats.mean_batch_size
+    );
+    println!(
+        "latency p50 {} us | p99 {} us | mean {:.0} us",
+        stats.p50_latency_us, stats.p99_latency_us, stats.mean_latency_us
+    );
+    println!("spikes per inference: {:.0}", stats.spikes_per_inference);
+    let sized: Vec<String> = stats
+        .batch_size_histogram
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(size, count)| format!("{size}:{count}"))
+        .collect();
+    println!("batch-size histogram (size:count): {}", sized.join(" "));
+
+    server.shutdown();
+    std::fs::remove_file(&model_path).ok();
+    println!("server shut down cleanly");
+    Ok(())
+}
