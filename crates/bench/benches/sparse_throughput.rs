@@ -1,0 +1,322 @@
+//! Sparsity-aware engine throughput: the forced-dense kernel policy vs the
+//! auto-selecting sparse policy, per neural coding, across the Fig. 7
+//! deletion levels (weight scaling on, as in the figure).
+//!
+//! This is the first bench where simulation speed is a *function of the
+//! coding*: under deletion a TTFS neuron's single spike dies with
+//! probability `p`, so a fraction `p` of the trains arrive empty, the
+//! decoded activation vectors sparsify, and the gather kernels skip the
+//! silent synapses — while rate coding's ~T-spike trains almost never die
+//! completely and keep the engine near the dense path.  TTAS(5)'s
+//! redundant bursts (the paper's robustness mechanism) survive moderate
+//! deletion by design, so its sparse win appears at the harsher Fig. 7
+//! levels where whole bursts start dying.  Logits are asserted
+//! **byte-equal** between the two policies for every (coding × level ×
+//! sample) before any timing happens: the sparse path buys throughput,
+//! never different results.
+//!
+//! Two workloads run: the MNIST-like MLP pipeline (fully connected layers,
+//! where the sparse matvec dominates — recorded as `sparse_throughput`)
+//! and the Fig. 7 CIFAR-10-like CNN pipeline (recorded as
+//! `sparse_throughput_cnn`; its convolution kernel skips zero activations
+//! element-wise on both policies, so the headroom is smaller).
+//!
+//! ```text
+//! cargo bench -p nrsnn-bench --bench sparse_throughput
+//! ```
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nrsnn::prelude::*;
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, mnist_pipeline, record_bench_summary};
+use nrsnn_runtime::derive_seed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SAMPLES: usize = 24;
+const SEED: u64 = 2021;
+/// The Fig. 7 deletion levels exercised here (a subset of the figure's
+/// 0.0..0.9 x-axis: the clean point is pure dense-vs-dense, and the paper's
+/// Table I points 0.2/0.5/0.8 plus the figure's harshest 0.9 bracket the
+/// density range).
+const LEVELS: [f64; 4] = [0.2, 0.5, 0.8, 0.9];
+/// Minimum wall-clock per timed side, so fast configurations (TTFS runs at
+/// >10k samples/s) still accumulate a stable measurement.
+const MIN_TIME_S: f64 = 0.4;
+
+struct CodingRun {
+    label: String,
+    level: f64,
+    dense_rate: f64,
+    sparse_rate: f64,
+    mean_density: f64,
+}
+
+impl CodingRun {
+    fn speedup(&self) -> f64 {
+        self.sparse_rate / self.dense_rate
+    }
+}
+
+/// Simulates `SAMPLES` rows through `network` and returns (Σ predicted,
+/// Σ spikes).
+fn run_batch(
+    pipeline: &TrainedPipeline,
+    network: &SnnNetwork,
+    coding: &dyn NeuralCoding,
+    cfg: &CodingConfig,
+    noise: &DeletionNoise,
+    ws: &mut SimWorkspace,
+    out: &mut Vec<BatchOutcome>,
+) -> (usize, usize) {
+    let inputs = &pipeline.dataset().test.inputs;
+    network
+        .simulate_batch(
+            inputs,
+            0..SAMPLES,
+            coding,
+            cfg,
+            noise,
+            |sample| StdRng::seed_from_u64(derive_seed(SEED, sample as u64)),
+            ws,
+            out,
+        )
+        .expect("simulate_batch");
+    out.iter()
+        .fold((0, 0), |(p, s), o| (p + o.predicted, s + o.total_spikes))
+}
+
+/// Byte-equality gate: every sample's logits must be identical between the
+/// dense and sparse policies before either is timed.
+fn assert_logits_byte_equal(
+    pipeline: &TrainedPipeline,
+    dense: &SnnNetwork,
+    sparse: &SnnNetwork,
+    coding: &dyn NeuralCoding,
+    cfg: &CodingConfig,
+    noise: &DeletionNoise,
+) {
+    let inputs = &pipeline.dataset().test.inputs;
+    let collect = |network: &SnnNetwork| {
+        let mut ws = SimWorkspace::for_network(network, cfg);
+        let mut seen: Vec<(usize, Vec<u32>)> = Vec::new();
+        network
+            .simulate_batch_each(
+                inputs,
+                0..SAMPLES,
+                coding,
+                cfg,
+                noise,
+                |sample| StdRng::seed_from_u64(derive_seed(SEED, sample as u64)),
+                &mut ws,
+                |_, outcome, ws| {
+                    seen.push((
+                        outcome.predicted,
+                        ws.logits().iter().map(|v| v.to_bits()).collect(),
+                    ));
+                },
+            )
+            .expect("equality gate");
+        seen
+    };
+    assert_eq!(
+        collect(dense),
+        collect(sparse),
+        "{}: sparse logits diverged from dense",
+        coding.name()
+    );
+}
+
+fn measure_pipeline(title: &str, pipeline: &TrainedPipeline) -> Vec<CodingRun> {
+    let time_steps = bench_sweep_config().time_steps;
+    let kinds = [
+        CodingKind::Rate,
+        CodingKind::Phase,
+        CodingKind::Burst,
+        CodingKind::Ttfs,
+        CodingKind::Ttas(5),
+    ];
+
+    let mut runs = Vec::new();
+    for &level in &LEVELS {
+        let scaling = WeightScaling::for_deletion_probability(level).expect("ws");
+        let noise = DeletionNoise::new(level).expect("noise");
+        for kind in kinds {
+            let coding = kind.build();
+            let cfg = pipeline.coding_config(kind, time_steps);
+            let base = pipeline.to_snn(&scaling).expect("convert");
+            let dense = base.clone().with_sparsity(SparsityPolicy::Dense);
+            let sparse = base.with_sparsity(SparsityPolicy::auto());
+
+            assert_logits_byte_equal(pipeline, &dense, &sparse, coding.as_ref(), &cfg, &noise);
+
+            let mut ws = SimWorkspace::for_network(&dense, &cfg);
+            let mut out = Vec::new();
+            // Warm both paths once (buffer growth), then time.  The sparse
+            // warm-up doubles as the density measurement: the workspace only
+            // keeps the most recent sample's per-layer densities, so the
+            // run statistic accumulates across every sample of the batch.
+            run_batch(
+                pipeline,
+                &dense,
+                coding.as_ref(),
+                &cfg,
+                &noise,
+                &mut ws,
+                &mut out,
+            );
+            let mut density_sum = 0.0f64;
+            let mut density_count = 0usize;
+            sparse
+                .simulate_batch_each(
+                    &pipeline.dataset().test.inputs,
+                    0..SAMPLES,
+                    coding.as_ref(),
+                    &cfg,
+                    &noise,
+                    |sample| StdRng::seed_from_u64(derive_seed(SEED, sample as u64)),
+                    &mut ws,
+                    |_, _, ws| {
+                        density_sum += ws
+                            .density_per_layer()
+                            .iter()
+                            .map(|&d| d as f64)
+                            .sum::<f64>();
+                        density_count += ws.density_per_layer().len();
+                    },
+                )
+                .expect("density warm-up");
+            let mean_density = density_sum / density_count.max(1) as f64;
+
+            let mut time = |network: &SnnNetwork| -> f64 {
+                let start = Instant::now();
+                let mut rounds = 0usize;
+                while start.elapsed().as_secs_f64() < MIN_TIME_S {
+                    black_box(run_batch(
+                        pipeline,
+                        network,
+                        coding.as_ref(),
+                        &cfg,
+                        &noise,
+                        &mut ws,
+                        &mut out,
+                    ));
+                    rounds += 1;
+                }
+                (rounds * SAMPLES) as f64 / start.elapsed().as_secs_f64()
+            };
+            let dense_rate = time(&dense);
+            let sparse_rate = time(&sparse);
+            runs.push(CodingRun {
+                label: kind.label(),
+                level,
+                dense_rate,
+                sparse_rate,
+                mean_density,
+            });
+        }
+    }
+
+    println!("\n==== Sparse vs dense engine: {title} (Fig. 7 deletion levels, WS) ====");
+    println!(
+        "{:<8}{:<10}{:>12}{:>12}{:>10}{:>14}",
+        "p", "coding", "dense/s", "sparse/s", "speedup", "mean density"
+    );
+    for run in &runs {
+        println!(
+            "{:<8}{:<10}{:>12.1}{:>12.1}{:>9.2}x{:>14.2}",
+            run.level,
+            run.label,
+            run.dense_rate,
+            run.sparse_rate,
+            run.speedup(),
+            run.mean_density
+        );
+    }
+    runs
+}
+
+fn key_of(run: &CodingRun) -> String {
+    let coding = run.label.to_lowercase().replace(['(', ')'], "");
+    format!("{coding}_p{:02}", (run.level * 100.0).round() as u32)
+}
+
+fn record(section: &str, runs: &[CodingRun]) {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    for run in runs {
+        let key = key_of(run);
+        entries.push((format!("{key}_dense_samples_per_s"), run.dense_rate));
+        entries.push((format!("{key}_sparse_samples_per_s"), run.sparse_rate));
+        entries.push((format!("{key}_speedup"), run.speedup()));
+    }
+    let borrowed: Vec<(&str, f64)> = entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    record_bench_summary(section, &borrowed);
+}
+
+fn speedup_of(runs: &[CodingRun], label: &str, level: f64) -> f64 {
+    runs.iter()
+        .find(|r| r.label == label && r.level == level)
+        .expect("run")
+        .speedup()
+}
+
+fn bench(c: &mut Criterion) {
+    let mlp_runs = measure_pipeline("MNIST-like MLP", mnist_pipeline());
+    let cnn_runs = measure_pipeline("Fig. 7 CIFAR-10-like CNN", cifar10_pipeline());
+    record("sparse_throughput", &mlp_runs);
+    record("sparse_throughput_cnn", &cnn_runs);
+
+    // Acceptance: the temporal codings must profit the most — the sparse
+    // engine is what makes speed a function of the coding.  TTFS sparsifies
+    // as soon as spikes are deleted; TTAS's redundant bursts (its robustness
+    // mechanism) keep its rasters dense until the harsher Fig. 7 levels.
+    for (label, level) in [
+        ("TTFS", 0.5),
+        ("TTFS", 0.8),
+        ("TTFS", 0.9),
+        ("TTAS(5)", 0.9),
+    ] {
+        let speedup = speedup_of(&mlp_runs, label, level);
+        assert!(
+            speedup >= 1.5,
+            "{label} @ p={level}: expected >= 1.5x sparse speedup, measured {speedup:.2}x"
+        );
+    }
+
+    let mut group = c.benchmark_group("sparse_throughput");
+    group.sample_size(10);
+    let pipeline = mnist_pipeline();
+    let scaling = WeightScaling::for_deletion_probability(0.5).expect("ws");
+    let noise = DeletionNoise::new(0.5).expect("noise");
+    for (name, policy) in [
+        ("ttfs_dense_24_samples", SparsityPolicy::Dense),
+        ("ttfs_sparse_24_samples", SparsityPolicy::auto()),
+    ] {
+        let network = pipeline
+            .to_snn(&scaling)
+            .expect("convert")
+            .with_sparsity(policy);
+        let coding = CodingKind::Ttfs.build();
+        let cfg = pipeline.coding_config(CodingKind::Ttfs, bench_sweep_config().time_steps);
+        group.bench_function(name, |b| {
+            let mut ws = SimWorkspace::for_network(&network, &cfg);
+            let mut out = Vec::new();
+            b.iter(|| {
+                black_box(run_batch(
+                    pipeline,
+                    &network,
+                    coding.as_ref(),
+                    &cfg,
+                    &noise,
+                    &mut ws,
+                    &mut out,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -15,9 +15,15 @@
 //! worker thread owns a single reusable [`SimWorkspace`] (created once per
 //! worker via [`try_parallel_map_init`]) and simulates its chunks through
 //! the batched [`SnnNetwork::simulate_batch`] API, so the steady-state hot
-//! loop allocates nothing per sample.  A chunk reduces to the pair
-//! `(correct, spikes)` of integer counts; per-point sums over chunks in
-//! index order equal the old per-sample sums exactly.
+//! loop allocates nothing per sample.  The engine underneath is
+//! sparsity-aware: each layer decodes only its active spike trains and
+//! auto-selects sparse kernels by measured density
+//! (`nrsnn_snn::SparsityPolicy`), so sweep cells under few-spike codings
+//! (TTFS, TTAS) at high deletion levels run proportionally faster — with
+//! results still bit-identical, because the sparse kernels only skip exact
+//! `w · 0.0` terms.  A chunk reduces to the pair `(correct, spikes)` of
+//! integer counts; per-point sums over chunks in index order equal the old
+//! per-sample sums exactly.
 //!
 //! Determinism contract: sample `s` is always simulated with a fresh RNG
 //! seeded `derive_seed(sweep_seed, s)` — a pure function of the sweep seed
@@ -227,9 +233,14 @@ pub(crate) fn run_grid(
     })?;
 
     // Codings and their configs are cheap; build them per point up front so
-    // the hot tasks only borrow.  Validating every config here (once per
-    // grid cell, hoisted out of the per-sample loop) surfaces errors before
-    // any simulation work is scheduled.
+    // the hot tasks only borrow.  Validating every coding kind and config
+    // here (once per grid cell, hoisted out of the per-sample loop)
+    // surfaces errors — including degenerate kinds like `Ttas(0)`, which
+    // `build` would otherwise clamp — before any simulation work is
+    // scheduled.
+    for spec in specs {
+        spec.coding.validate()?;
+    }
     let codings: Vec<Box<dyn NeuralCoding>> = specs.iter().map(|s| s.coding.build()).collect();
     let cfgs: Vec<CodingConfig> = specs
         .iter()

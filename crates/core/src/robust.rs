@@ -47,10 +47,12 @@ impl RobustSnnBuilder {
         }
     }
 
-    /// Sets the TTAS burst duration `t_a`.
+    /// Sets the TTAS burst duration `t_a`.  A degenerate `t_a = 0` is kept
+    /// verbatim here and rejected with a typed error by
+    /// [`RobustSnnBuilder::build`] (no silent clamping).
     #[must_use]
     pub fn burst_duration(mut self, burst_duration: u32) -> Self {
-        self.burst_duration = burst_duration.max(1);
+        self.burst_duration = burst_duration;
         self
     }
 
@@ -74,7 +76,7 @@ impl RobustSnnBuilder {
     ///
     /// # Errors
     /// Returns [`NrsnnError`] if the expected deletion probability is not in
-    /// `[0, 1)` or conversion fails.
+    /// `[0, 1)`, the burst duration is zero, or conversion fails.
     pub fn build(&self, pipeline: &TrainedPipeline) -> Result<RobustSnn> {
         if !(0.0..1.0).contains(&self.expected_deletion) {
             return Err(NrsnnError::InvalidConfig(format!(
@@ -82,13 +84,13 @@ impl RobustSnnBuilder {
                 self.expected_deletion
             )));
         }
+        let coding = TtasCoding::new(self.burst_duration)?;
         let scaling = if self.expected_deletion > 0.0 {
             WeightScaling::for_deletion_probability(self.expected_deletion)?
         } else {
             WeightScaling::none()
         };
         let network = pipeline.to_snn(&scaling)?;
-        let coding = TtasCoding::new(self.burst_duration);
         let config = CodingConfig::new(
             self.time_steps,
             CodingKind::Ttas(self.burst_duration).default_threshold(),

@@ -44,6 +44,12 @@ impl SpikeTransform for DeletionNoise {
             return raster.clone();
         }
         raster.map_trains(|_, train| {
+            // Silent neurons draw no randomness and need no work — under
+            // sparse temporal codings most trains are empty, so the
+            // transform's cost tracks the active set, not the layer width.
+            if train.is_empty() {
+                return Vec::new();
+            }
             train
                 .iter()
                 .copied()
@@ -57,8 +63,12 @@ impl SpikeTransform for DeletionNoise {
             out.copy_from(raster);
             return;
         }
-        // Same neuron order and one RNG draw per spike, exactly as `apply`.
+        // Same neuron order and one RNG draw per spike, exactly as `apply`;
+        // empty trains are skipped outright (they draw nothing).
         raster.map_trains_into(out, |_, train, kept| {
+            if train.is_empty() {
+                return;
+            }
             kept.extend(
                 train
                     .iter()

@@ -10,9 +10,13 @@ use crate::{NoiseError, Result};
 /// with standard deviation `σ`, quantised to integer time steps and clamped
 /// to the window (the paper's jitter model, §III).
 ///
-/// Jitter leaves the *number* of spikes unchanged but corrupts *when* they
-/// arrive, so codings that read out timing (phase, TTFS) suffer while rate
-/// coding is untouched.
+/// Jitter corrupts *when* spikes arrive rather than destroying them, so
+/// codings that read out timing (phase, TTFS) suffer while rate coding is
+/// largely untouched.  Spikes are binary events, though: two spikes of one
+/// neuron that collide on the same time step after shifting-and-clamping
+/// merge into a single spike (enforced by the raster's normalisation), so
+/// heavy jitter near the window edges can reduce the spike count — the
+/// train, its count, and every decode stay mutually consistent.
 ///
 /// ```
 /// use nrsnn_noise::JitterNoise;
@@ -70,6 +74,12 @@ impl SpikeTransform for JitterNoise {
         }
         let max_t = raster.num_steps().saturating_sub(1) as i64;
         raster.map_trains(|_, train| {
+            // Silent neurons draw no randomness and need no work — under
+            // sparse temporal codings most trains are empty, so the
+            // transform's cost tracks the active set, not the layer width.
+            if train.is_empty() {
+                return Vec::new();
+            }
             train
                 .iter()
                 .map(|&t| {
@@ -86,8 +96,12 @@ impl SpikeTransform for JitterNoise {
             return;
         }
         let max_t = raster.num_steps().saturating_sub(1) as i64;
-        // Same neuron order and two RNG draws per spike, exactly as `apply`.
+        // Same neuron order and two RNG draws per spike, exactly as `apply`;
+        // empty trains are skipped outright (they draw nothing).
         raster.map_trains_into(out, |_, train, shifted| {
+            if train.is_empty() {
+                return;
+            }
             shifted.extend(train.iter().map(|&t| {
                 let shift = (Self::gaussian(rng) * self.sigma).round() as i64;
                 (t as i64 + shift).clamp(0, max_t) as u32
@@ -101,7 +115,8 @@ impl SpikeTransform for JitterNoise {
         }
         let max_t = raster.num_steps().saturating_sub(1) as i64;
         // Two RNG draws per spike in spike order, exactly as `apply`;
-        // `update_trains` re-sorts each train like `set_train` did.
+        // `update_trains` re-normalises each train like `set_train` does
+        // (sort + merge colliding spikes), and skips empty trains.
         raster.update_trains(|_, train| {
             for t in train.iter_mut() {
                 let shift = (Self::gaussian(rng) * self.sigma).round() as i64;
@@ -142,11 +157,52 @@ mod tests {
     }
 
     #[test]
-    fn jitter_preserves_spike_count() {
+    fn jitter_never_creates_spikes_and_keeps_trains_binary() {
         let raster = SpikeRaster::from_trains(vec![(0..50).collect(), (10..30).collect()], 64);
         let mut rng = StdRng::seed_from_u64(1);
         let out = JitterNoise::new(3.0).unwrap().apply(&raster, &mut rng);
-        assert_eq!(out.total_spikes(), raster.total_spikes());
+        // Jitter deletes nothing, but colliding spikes merge: the count can
+        // only shrink, and every train stays strictly increasing.
+        assert!(out.total_spikes() <= raster.total_spikes());
+        assert!(out.total_spikes() > 0);
+        for (_, train) in out.iter() {
+            assert!(train.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Regression for jitter collisions at the window edges: spikes pinned
+    /// at the first and last steps get clamped onto each other under heavy
+    /// jitter, and the resulting trains must stay duplicate-free so
+    /// train-based counts, dense 0/1 views and PSC decodes all agree.
+    #[test]
+    fn clamped_collisions_at_window_edges_merge_instead_of_duplicating() {
+        let steps = 16u32;
+        let raster =
+            SpikeRaster::from_trains(vec![vec![0, 1, 2], vec![13, 14, 15], vec![0, 15]], steps);
+        let noise = JitterNoise::new(40.0).unwrap(); // almost every spike clamps
+        let mut merged_somewhere = false;
+        for seed in 0..32 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = noise.apply(&raster, &mut rng);
+            for (n, train) in out.iter() {
+                // Strictly increasing == sorted and duplicate-free.
+                assert!(
+                    train.windows(2).all(|w| w[0] < w[1]),
+                    "seed {seed} neuron {n}: {train:?}"
+                );
+                assert!(train.iter().all(|&t| t < steps));
+                // The per-train count is the train length by construction;
+                // a dense 0/1 view over the window carries the same count.
+                let dense_count = (0..steps).filter(|t| train.contains(t)).count();
+                assert_eq!(dense_count, train.len(), "seed {seed} neuron {n}");
+            }
+            if out.total_spikes() < raster.total_spikes() {
+                merged_somewhere = true;
+            }
+        }
+        // With σ = 40 on a 16-step window, collisions are guaranteed to
+        // have happened across 32 seeds.
+        assert!(merged_somewhere, "expected at least one clamped collision");
     }
 
     #[test]
@@ -159,12 +215,19 @@ mod tests {
 
     #[test]
     fn average_shift_is_roughly_zero_and_spread_grows_with_sigma() {
-        let times: Vec<u32> = vec![500; 4000];
-        let raster = SpikeRaster::from_trains(vec![times], 1000);
+        // One spike per neuron (trains are binary: 4000 coincident spikes
+        // on one neuron would merge), all at t = 500 far from the clamps.
+        let trains: Vec<Vec<u32>> = (0..4000).map(|_| vec![500]).collect();
+        let raster = SpikeRaster::from_trains(trains, 1000);
         let mut rng = StdRng::seed_from_u64(3);
         for sigma in [1.0f64, 3.0] {
             let out = JitterNoise::new(sigma).unwrap().apply(&raster, &mut rng);
-            let shifts: Vec<f64> = out.train(0).iter().map(|&t| t as f64 - 500.0).collect();
+            let shifts: Vec<f64> = out
+                .iter()
+                .flat_map(|(_, t)| t.iter())
+                .map(|&t| t as f64 - 500.0)
+                .collect();
+            assert_eq!(shifts.len(), 4000);
             let mean = shifts.iter().sum::<f64>() / shifts.len() as f64;
             let var =
                 shifts.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / shifts.len() as f64;

@@ -12,7 +12,11 @@
 //! zero window it batches exactly the current backlog and never delays a
 //! request.  Each batch becomes **one**
 //! [`SnnNetwork::simulate_batch_each`](nrsnn_snn::SnnNetwork::simulate_batch_each)
-//! call through the worker's own reusable [`SimWorkspace`].
+//! call through the worker's own reusable [`SimWorkspace`].  The simulation
+//! engine under that call is sparsity-aware (see
+//! `nrsnn_snn::SparsityPolicy`): served models running few-spike temporal
+//! codings cost per-request compute proportional to their active neurons,
+//! while replies stay bit-identical to the offline simulator.
 //!
 //! ## Backpressure
 //!

@@ -93,11 +93,18 @@ impl Metrics {
 
     pub(crate) fn snapshot(&self) -> ServerStats {
         let inner = self.inner.lock().expect("metrics lock");
+        // One shared zero-traffic guard for every served-derived statistic:
+        // before any request is served, percentiles, means and ratios are
+        // all well-defined zeros.  (Previously the percentile rank and the
+        // mean clamped `served` independently — one via an early return,
+        // one via `max(1)` — which is the kind of drift that ends with one
+        // path dividing by zero or reporting a phantom bucket ceiling.)
+        let served = inner.served;
         let percentile = |q: f64| -> u64 {
-            if inner.served == 0 {
+            if served == 0 {
                 return 0;
             }
-            let rank = (q * inner.served as f64).ceil().max(1.0) as u64;
+            let rank = (q * served as f64).ceil().max(1.0) as u64;
             let mut seen = 0u64;
             for (index, &count) in inner.latency_buckets.iter().enumerate() {
                 seen += count;
@@ -107,7 +114,13 @@ impl Metrics {
             }
             bucket_ceiling(LATENCY_BUCKETS - 1)
         };
-        let served = inner.served.max(1) as f64;
+        let per_served = |total: u64| -> f64 {
+            if served == 0 {
+                0.0
+            } else {
+                total as f64 / served as f64
+            }
+        };
         // Mean over *executed* batches, from the histogram itself — using
         // served/batches instead would under-report whenever a batch's
         // requests subsequently failed.
@@ -119,7 +132,7 @@ impl Metrics {
             .sum();
         ServerStats {
             requests_received: inner.received,
-            requests_served: inner.served,
+            requests_served: served,
             rejected_busy: inner.rejected_busy,
             failed: inner.failed,
             batches: inner.batches,
@@ -131,17 +144,9 @@ impl Metrics {
             },
             p50_latency_us: percentile(0.50),
             p99_latency_us: percentile(0.99),
-            mean_latency_us: if inner.served == 0 {
-                0.0
-            } else {
-                inner.latency_sum_us as f64 / served
-            },
+            mean_latency_us: per_served(inner.latency_sum_us),
             total_spikes: inner.total_spikes,
-            spikes_per_inference: if inner.served == 0 {
-                0.0
-            } else {
-                inner.total_spikes as f64 / served
-            },
+            spikes_per_inference: per_served(inner.total_spikes),
         }
     }
 }
@@ -297,13 +302,49 @@ mod tests {
         assert_eq!(stats.mean_batch_size, 6.0); // (8 + 4) / 2, not 4 / 2
     }
 
+    /// A stats request before any traffic must return well-defined zeros in
+    /// **every** field — no phantom bucket ceilings from clamped ranks, no
+    /// NaNs from zero denominators.
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
         let stats = Metrics::default().snapshot();
+        assert_eq!(stats.requests_received, 0);
         assert_eq!(stats.requests_served, 0);
-        assert_eq!(stats.p50_latency_us, 0);
+        assert_eq!(stats.rejected_busy, 0);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.batches, 0);
+        assert!(stats.batch_size_histogram.is_empty());
         assert_eq!(stats.mean_batch_size, 0.0);
+        assert_eq!(stats.p50_latency_us, 0);
+        assert_eq!(stats.p99_latency_us, 0);
+        assert_eq!(stats.mean_latency_us.to_bits(), 0.0f64.to_bits());
+        assert_eq!(stats.total_spikes, 0);
+        assert_eq!(stats.spikes_per_inference.to_bits(), 0.0f64.to_bits());
+    }
+
+    /// Receiving (or bouncing) requests without serving any must still keep
+    /// the served-derived statistics at zero: the percentile path and the
+    /// mean path share one guard.
+    #[test]
+    fn received_but_unserved_traffic_keeps_served_statistics_zero() {
+        let m = Metrics::default();
+        m.record_received();
+        m.record_received();
+        m.record_busy();
+        m.record_batch(2);
+        m.record_failed(2);
+        let stats = m.snapshot();
+        assert_eq!(stats.requests_received, 2);
+        assert_eq!(stats.requests_served, 0);
+        assert_eq!(stats.rejected_busy, 1);
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.p50_latency_us, 0);
+        assert_eq!(stats.p99_latency_us, 0);
+        assert_eq!(stats.mean_latency_us, 0.0);
         assert_eq!(stats.spikes_per_inference, 0.0);
+        // Batch statistics are batch-derived, not served-derived.
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.mean_batch_size, 2.0);
     }
 
     #[test]

@@ -451,6 +451,12 @@ impl ModelSpec {
             }
         }
         let network = SnnNetwork::new(layers).map_err(|e| ServeError::Model(e.to_string()))?;
+        // A model file carrying a degenerate coding (e.g. TTAS with a
+        // zero-length burst) is rejected here with a typed error instead of
+        // being silently coerced into a different coding.
+        self.coding
+            .validate()
+            .map_err(|e| ServeError::Model(e.to_string()))?;
         let config = self.coding_config();
         config
             .validate()
@@ -555,7 +561,10 @@ impl ServedModel {
     /// equivalent of loading a [`ModelSpec`]).
     ///
     /// # Errors
-    /// Propagates coding-configuration validation and noise construction.
+    /// Propagates coding-kind and coding-configuration validation and noise
+    /// construction — a degenerate coding (e.g. `Ttas(0)`) is a typed
+    /// [`ServeError::Model`] at load time, never a silently coerced
+    /// parameter serving live traffic.
     pub fn new(
         name: impl Into<String>,
         network: SnnNetwork,
@@ -565,6 +574,9 @@ impl ServedModel {
         scaling: f32,
         master_seed: u64,
     ) -> Result<ServedModel> {
+        coding
+            .validate()
+            .map_err(|e| ServeError::Model(e.to_string()))?;
         config
             .validate()
             .map_err(|e| ServeError::Model(e.to_string()))?;
@@ -642,6 +654,28 @@ mod tests {
             1.0,
             2021,
         )
+    }
+
+    #[test]
+    fn degenerate_coding_kind_is_rejected_at_load_time() {
+        // In-process construction path.
+        assert!(matches!(
+            ServedModel::new(
+                "bad",
+                toy_network(),
+                CodingKind::Ttas(0),
+                CodingConfig::new(64, 1.0),
+                NoiseSpec::Clean,
+                1.0,
+                7,
+            ),
+            Err(ServeError::Model(_))
+        ));
+        // Model-file loading path: the same degenerate kind embedded in an
+        // otherwise valid spec must fail `build`, not serve coerced.
+        let mut spec = toy_spec();
+        spec.coding = CodingKind::Ttas(0);
+        assert!(matches!(spec.build(), Err(ServeError::Model(_))));
     }
 
     #[test]

@@ -592,6 +592,20 @@ mod tests {
     }
 
     #[test]
+    fn stats_request_before_any_traffic_returns_well_defined_zeros() {
+        let server = Server::start(toy_registry(), small_config()).unwrap();
+        let stats = server.client().stats();
+        assert_eq!(stats.requests_received, 0);
+        assert_eq!(stats.requests_served, 0);
+        assert_eq!(stats.p50_latency_us, 0);
+        assert_eq!(stats.p99_latency_us, 0);
+        assert_eq!(stats.mean_latency_us, 0.0);
+        assert_eq!(stats.mean_batch_size, 0.0);
+        assert_eq!(stats.spikes_per_inference, 0.0);
+        server.shutdown();
+    }
+
+    #[test]
     fn in_process_round_trip_and_stats() {
         let server = Server::start(toy_registry(), small_config()).unwrap();
         let client = server.client();

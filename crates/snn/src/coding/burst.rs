@@ -1,6 +1,6 @@
 //! Burst coding.
 
-use crate::{CodingConfig, CodingKind, NeuralCoding};
+use crate::{CodingConfig, CodingKind, NeuralCoding, Result, SnnError};
 
 /// Burst coding after Park et al. (DAC 2019): an activation is transmitted
 /// as a short burst of consecutive spikes, and the decoder uses the
@@ -33,11 +33,21 @@ impl BurstCoding {
     }
 
     /// Creates a burst coding with a custom maximum burst length.
-    pub fn with_max_spikes(max_spikes: u32) -> Self {
-        BurstCoding {
-            max_spikes: max_spikes.max(1),
-            isi_tolerance: 2,
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InvalidConfig`] for a zero burst length: a burst
+    /// of at most 0 spikes cannot carry a value, and silently clamping it
+    /// would change the quantum `θ/N_max` behind the caller's back.
+    pub fn with_max_spikes(max_spikes: u32) -> Result<Self> {
+        if max_spikes == 0 {
+            return Err(SnnError::InvalidConfig(
+                "burst coding max_spikes must be at least 1".to_string(),
+            ));
         }
+        Ok(BurstCoding {
+            max_spikes,
+            isi_tolerance: 2,
+        })
     }
 
     /// The maximum number of spikes per burst.
@@ -167,10 +177,18 @@ mod tests {
 
     #[test]
     fn custom_max_spikes() {
-        let coding = BurstCoding::with_max_spikes(4);
+        let coding = BurstCoding::with_max_spikes(4).unwrap();
         let cfg = CodingConfig::new(64, 1.0);
         assert_eq!(coding.encode(1.0, &cfg).len(), 4);
         assert_eq!(coding.max_spikes(), 4);
+    }
+
+    #[test]
+    fn zero_max_spikes_is_a_typed_error_not_a_silent_clamp() {
+        assert!(matches!(
+            BurstCoding::with_max_spikes(0),
+            Err(SnnError::InvalidConfig(_))
+        ));
     }
 
     #[test]

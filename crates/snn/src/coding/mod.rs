@@ -61,6 +61,12 @@ pub trait NeuralCoding: Send + Sync {
 
     /// Integrates a spike train through the coding's PSC kernel, recovering
     /// an activation estimate.
+    ///
+    /// **Contract:** an empty train must decode to exactly `+0.0` (bit
+    /// pattern `0x0000_0000`) — a silent neuron transmits nothing.  Every
+    /// coding in this crate satisfies this, and the sparsity-aware
+    /// simulation engine relies on it to skip silent neurons without
+    /// perturbing a single output bit.
     fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32;
 
     /// Decodes every train of `raster` into `out` (cleared first, capacity
@@ -71,6 +77,47 @@ pub trait NeuralCoding: Send + Sync {
     fn decode_into(&self, raster: &SpikeRaster, cfg: &CodingConfig, out: &mut Vec<f32>) {
         out.clear();
         out.extend((0..raster.num_neurons()).map(|n| self.decode(raster.train(n), cfg)));
+    }
+
+    /// Sparsity-aware sibling of [`NeuralCoding::decode_into`]: decodes only
+    /// the **active** (non-empty) trains, writes `+0.0` for silent neurons
+    /// (exactly what [`NeuralCoding::decode`] contracts to return for them),
+    /// and records in `active` the ascending indices of every neuron whose
+    /// decoded value is nonzero.
+    ///
+    /// The produced `out` is bit-identical to `decode_into` over the same
+    /// raster, while `active` is precisely the column set the sparse matrix
+    /// kernels may restrict themselves to — indices outside `active` carry
+    /// an exact `0.0`, whose product with any finite weight is a bitwise
+    /// no-op on the accumulator (see `nrsnn_tensor::matvec_sparse_slices`).
+    /// All three buffers are cleared first, keeping their capacity.
+    ///
+    /// `scratch` is caller-owned reusable space (the simulation workspace
+    /// passes one buffer per inference): codings with a per-raster-constant
+    /// PSC structure hoist it in there — e.g. TTAS tabulates its
+    /// exponentially decaying kernel once per raster instead of calling
+    /// `exp` once per spike.  The default implementation ignores it.
+    fn decode_active_into(
+        &self,
+        raster: &SpikeRaster,
+        cfg: &CodingConfig,
+        out: &mut Vec<f32>,
+        active: &mut Vec<u32>,
+        _scratch: &mut Vec<f32>,
+    ) {
+        out.clear();
+        active.clear();
+        for (n, train) in raster.iter() {
+            if train.is_empty() {
+                out.push(0.0);
+                continue;
+            }
+            let value = self.decode(train, cfg);
+            if value != 0.0 {
+                active.push(n as u32);
+            }
+            out.push(value);
+        }
     }
 }
 
@@ -131,14 +178,33 @@ impl CodingKind {
         }
     }
 
+    /// Validates the kind's structural parameters.
+    ///
+    /// # Errors
+    /// Returns [`crate::SnnError::InvalidConfig`] for `Ttas(0)` — a
+    /// zero-length burst encodes nothing.  Grid builders and model loaders
+    /// call this up front so a degenerate kind is a typed error instead of
+    /// a silent coercion inside [`CodingKind::build`].
+    pub fn validate(&self) -> crate::Result<()> {
+        if let CodingKind::Ttas(duration) = self {
+            TtasCoding::new(*duration)?;
+        }
+        Ok(())
+    }
+
     /// Builds the coding with its default structural parameters.
+    ///
+    /// Infallible by design (it backs `Box<dyn NeuralCoding>` factories all
+    /// over the workspace): a degenerate `Ttas(0)` builds via the explicit
+    /// [`TtasCoding::clamped`] constructor.  Call [`CodingKind::validate`]
+    /// first wherever a typed rejection is wanted.
     pub fn build(&self) -> Box<dyn NeuralCoding> {
         match self {
             CodingKind::Rate => Box::new(RateCoding::new()),
             CodingKind::Phase => Box::new(PhaseCoding::new()),
             CodingKind::Burst => Box::new(BurstCoding::new()),
             CodingKind::Ttfs => Box::new(TtfsCoding::new()),
-            CodingKind::Ttas(duration) => Box::new(TtasCoding::new(*duration)),
+            CodingKind::Ttas(duration) => Box::new(TtasCoding::clamped(*duration)),
         }
     }
 
@@ -313,6 +379,89 @@ mod tests {
                     coding.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_ttas_only() {
+        assert!(CodingKind::Ttas(0).validate().is_err());
+        for kind in [
+            CodingKind::Rate,
+            CodingKind::Phase,
+            CodingKind::Burst,
+            CodingKind::Ttfs,
+            CodingKind::Ttas(1),
+            CodingKind::Ttas(10),
+        ] {
+            assert!(kind.validate().is_ok(), "{}", kind.label());
+        }
+        // The escape hatch stays explicit: building the degenerate kind
+        // clamps through the documented constructor.
+        assert_eq!(CodingKind::Ttas(0).build().kind(), CodingKind::Ttas(1));
+    }
+
+    /// The sparsity contract: an empty train decodes to exactly +0.0 under
+    /// every coding (not -0.0, not a denormal — bit pattern zero), so the
+    /// sparse engine may write the constant instead of calling decode.
+    #[test]
+    fn empty_train_decodes_to_positive_zero_bits() {
+        for time_steps in [1u32, 17, 128] {
+            let cfg = CodingConfig::new(time_steps, 1.0);
+            for kind in [
+                CodingKind::Rate,
+                CodingKind::Phase,
+                CodingKind::Burst,
+                CodingKind::Ttfs,
+                CodingKind::Ttas(5),
+            ] {
+                let coding = kind.build();
+                assert_eq!(
+                    coding.decode(&[], &cfg).to_bits(),
+                    0u32,
+                    "{} T={time_steps}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    /// `decode_active_into` must reproduce `decode_into` bit for bit and
+    /// report exactly the nonzero positions as active.
+    #[test]
+    fn decode_active_into_matches_decode_into_and_tracks_nonzeros() {
+        let cfg = CodingConfig::new(64, 1.0);
+        for kind in [
+            CodingKind::Rate,
+            CodingKind::Phase,
+            CodingKind::Burst,
+            CodingKind::Ttfs,
+            CodingKind::Ttas(5),
+        ] {
+            let coding = kind.build();
+            let values = [0.0f32, 0.8, 0.0, 0.33, 1.0, 0.0, 1e-6, 0.51];
+            let trains: Vec<Vec<u32>> = values.iter().map(|&v| coding.encode(v, &cfg)).collect();
+            let raster = SpikeRaster::from_trains(trains, cfg.time_steps);
+
+            let mut dense = vec![9.0f32; 2]; // dirty: must be reset
+            coding.decode_into(&raster, &cfg, &mut dense);
+            let mut sparse = vec![-9.0f32; 100];
+            let mut active = vec![42u32; 3];
+            let mut scratch = Vec::new();
+            coding.decode_active_into(&raster, &cfg, &mut sparse, &mut active, &mut scratch);
+
+            assert_eq!(
+                dense.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                sparse.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{}",
+                kind.label()
+            );
+            let expected_active: Vec<u32> = dense
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(n, _)| n as u32)
+                .collect();
+            assert_eq!(active, expected_active, "{}", kind.label());
         }
     }
 

@@ -1,6 +1,6 @@
 //! Phase coding (weighted spikes).
 
-use crate::{CodingConfig, CodingKind, NeuralCoding};
+use crate::{CodingConfig, CodingKind, NeuralCoding, Result, SnnError};
 
 /// Phase coding after Kim et al. ("Deep neural networks with weighted
 /// spikes"): time is divided into periods of `period` steps driven by a
@@ -25,10 +25,18 @@ impl PhaseCoding {
     }
 
     /// Creates a phase coding with a custom period (number of phases).
-    pub fn with_period(period: u32) -> Self {
-        PhaseCoding {
-            period: period.max(1),
+    ///
+    /// # Errors
+    /// Returns [`SnnError::InvalidConfig`] for a zero period: a period of 0
+    /// phases carries no bits, and silently clamping it would change the
+    /// coding's resolution behind the caller's back.
+    pub fn with_period(period: u32) -> Result<Self> {
+        if period == 0 {
+            return Err(SnnError::InvalidConfig(
+                "phase coding period must be at least 1 phase".to_string(),
+            ));
         }
+        Ok(PhaseCoding { period })
     }
 
     /// The number of phases per period.
@@ -94,6 +102,12 @@ impl NeuralCoding for PhaseCoding {
     }
 
     fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32 {
+        if train.is_empty() {
+            // A silent neuron decodes to exactly +0.0 (the NeuralCoding
+            // contract); `Sum`'s float identity is -0.0, which would leak
+            // a negative zero out of the empty fold below.
+            return 0.0;
+        }
         let periods = self.num_periods(cfg) as f32;
         let sum: f32 = train.iter().map(|&t| self.phase_weight(t)).sum();
         cfg.threshold * sum / periods
@@ -151,11 +165,19 @@ mod tests {
 
     #[test]
     fn custom_period_is_respected() {
-        let coding = PhaseCoding::with_period(4);
+        let coding = PhaseCoding::with_period(4).unwrap();
         assert_eq!(coding.period(), 4);
         let cfg = CodingConfig::new(16, 1.0);
         let spikes = coding.encode(0.5, &cfg);
         assert_eq!(spikes.len(), 4); // one MSB spike per 4-step period
+    }
+
+    #[test]
+    fn zero_period_is_a_typed_error_not_a_silent_clamp() {
+        assert!(matches!(
+            PhaseCoding::with_period(0),
+            Err(SnnError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub use config::CodingConfig;
 pub use conversion::{convert, ConversionConfig, ThresholdBalancer};
 pub use error::SnnError;
 pub use network::{
-    EvaluationSummary, IdentityTransform, SimulationOutcome, SnnLayer, SnnNetwork, SpikeTransform,
+    EvaluationSummary, IdentityTransform, SimulationOutcome, SnnLayer, SnnNetwork, SparsityPolicy,
+    SpikeTransform,
 };
 pub use neuron::{IfNeuron, IfbNeuron, ResetKind};
 pub use spike::SpikeRaster;

@@ -13,14 +13,24 @@
 //!   byte-for-byte equality between the two, and the `sim_throughput` bench
 //!   measures the speedup.
 //!
+//! The workspace path is additionally **sparsity-aware**: each layer decodes
+//! only the active (non-empty) spike trains and, under the default
+//! [`SparsityPolicy::Auto`], switches to gather kernels that touch only the
+//! nonzero decoded activations whenever the measured density drops below the
+//! policy threshold.  Because the skipped terms are all exact `w · 0.0`
+//! products, the sparse kernels are bit-identical to the dense ones — the
+//! `sparse_throughput` bench asserts byte-equal logits before timing the
+//! speedup, which (unlike the dense engine) grows with how few spikes the
+//! coding emits and how many of them the noise deletes.
+//!
 //! [`SnnNetwork::simulate`] is a thin wrapper over a one-shot workspace, so
 //! existing callers keep their API and gain the allocation-free inner loop.
 
 use std::ops::Range;
 
 use nrsnn_tensor::{
-    im2col, im2col_slices, matmul_slices, matvec, matvec_slices, transpose, transpose_slices,
-    Conv2dGeometry, Pool2dGeometry, Tensor,
+    im2col, im2col_slices, matmul_sparse_into, matmul_sparse_slices, matvec_bias_slices,
+    matvec_sparse_slices, transpose, transpose_slices, Conv2dGeometry, Pool2dGeometry, Tensor,
 };
 use rand::RngCore;
 
@@ -28,6 +38,71 @@ use crate::workspace::ConvScratch;
 use crate::{
     BatchOutcome, CodingConfig, NeuralCoding, Result, SimWorkspace, SnnError, SpikeRaster,
 };
+
+/// How the simulation engine chooses between the dense and the
+/// sparsity-aware kernels for each weighted layer.
+///
+/// Both kernel families are **bit-identical** (the sparse kernels only skip
+/// terms of the form `w · 0.0`, which are bitwise no-ops on a bias-seeded
+/// accumulator — see `nrsnn_tensor::matvec_sparse_slices`), so the policy is
+/// purely a performance knob: it can never change a logit, a prediction or
+/// an RNG stream.  The default [`SparsityPolicy::Auto`] measures each
+/// layer's decoded-input density per sample and picks the sparse kernel
+/// below the threshold — which is what makes simulation speed a function of
+/// the neural coding: a TTFS raster whose trains were half-deleted decodes
+/// to a half-empty activation vector and pays for only the active half.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SparsityPolicy {
+    /// Per layer and per sample, use the sparse kernels when the measured
+    /// input density (`nonzero inputs / input width`) is at most
+    /// `max_density`, the dense kernels otherwise.
+    Auto {
+        /// Density at or below which the sparse kernels win; the crossover
+        /// sits where the sparse gather loop beats the dense sequential
+        /// scan (measured by the `sparse_throughput` bench).
+        max_density: f32,
+    },
+    /// Always use the dense kernels (the pre-sparsity engine, and the
+    /// baseline the `sparse_throughput` bench compares against).
+    Dense,
+    /// Always use the sparse kernels, whatever the density (used by the
+    /// bit-identity tests and the allocation regression test).
+    Sparse,
+}
+
+impl SparsityPolicy {
+    /// Default [`SparsityPolicy::Auto`] threshold.  At density `d` the
+    /// sparse matvec performs `d·n` gather multiply-adds against the dense
+    /// kernel's `n` sequential ones; gathers are slower per element, so the
+    /// measured crossover sits well above 1/2 — 0.75 keeps a safety margin
+    /// while still catching the half-empty rasters that spike deletion
+    /// leaves behind under temporal codings.
+    pub const DEFAULT_MAX_DENSITY: f32 = 0.75;
+
+    /// The default policy: auto-selection at
+    /// [`SparsityPolicy::DEFAULT_MAX_DENSITY`].
+    pub fn auto() -> Self {
+        SparsityPolicy::Auto {
+            max_density: SparsityPolicy::DEFAULT_MAX_DENSITY,
+        }
+    }
+
+    /// Whether a layer with the given measured input density should take
+    /// the sparse kernels under this policy.
+    fn use_sparse(&self, density: f32) -> bool {
+        match self {
+            SparsityPolicy::Auto { max_density } => density <= *max_density,
+            SparsityPolicy::Dense => false,
+            SparsityPolicy::Sparse => true,
+        }
+    }
+}
+
+impl Default for SparsityPolicy {
+    fn default() -> Self {
+        SparsityPolicy::auto()
+    }
+}
 
 /// One layer of a converted spiking network.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,13 +168,18 @@ impl SnnLayer {
 
     /// Analog forward pass of this layer on a dense activation vector, with
     /// ReLU left to the caller.
+    ///
+    /// Weighted layers seed their accumulators from the bias and add the
+    /// input terms in ascending index order — the exact operation order of
+    /// the dense *and* sparse workspace kernels, so all three simulation
+    /// paths stay bit-identical.
     fn forward_analog(&self, input: &[f32]) -> Result<Vec<f32>> {
         match self {
             SnnLayer::Linear { weights, bias } => {
-                let x = Tensor::from_slice(input);
-                let mut out = matvec(weights, &x)?;
-                out.add_scaled_inplace(&Tensor::from_slice(bias.as_slice()), 1.0)?;
-                Ok(out.into_vec())
+                let (m, n) = (weights.dims()[0], weights.dims()[1]);
+                let mut out = vec![0.0f32; m];
+                matvec_bias_slices(weights.as_slice(), m, n, input, bias.as_slice(), &mut out);
+                Ok(out)
             }
             SnnLayer::Conv {
                 weights,
@@ -109,15 +189,15 @@ impl SnnLayer {
                 let x = Tensor::from_slice(input);
                 let cols = im2col(&x, geometry)?;
                 let wt = transpose(weights)?;
-                let prod = cols.matmul(&wt)?; // (positions x out_ch)
+                // (positions x out_ch), bias folded into the accumulator seed.
+                let mut prod = Vec::new();
+                matmul_sparse_into(&cols, &wt, bias, &mut prod)?;
                 let positions = geometry.out_positions();
                 let out_ch = weights.dims()[0];
-                let pv = prod.as_slice();
-                let bv = bias.as_slice();
                 let mut out = vec![0.0f32; out_ch * positions];
                 for c in 0..out_ch {
                     for p in 0..positions {
-                        out[c * positions + p] = pv[p * out_ch + c] + bv[c];
+                        out[c * positions + p] = prod[p * out_ch + c];
                     }
                 }
                 Ok(out)
@@ -161,12 +241,7 @@ impl SnnLayer {
                 let (m, n) = (weights.dims()[0], weights.dims()[1]);
                 out.clear();
                 out.resize(m, 0.0);
-                matvec_slices(weights.as_slice(), m, n, input, out);
-                // `add_scaled_inplace(bias, 1.0)` on the reference path is
-                // `o += b * 1.0`, bit-identical to a plain add.
-                for (o, &b) in out.iter_mut().zip(bias.as_slice()) {
-                    *o += b;
-                }
+                matvec_bias_slices(weights.as_slice(), m, n, input, bias.as_slice(), out);
             }
             SnnLayer::Conv {
                 weights,
@@ -184,20 +259,24 @@ impl SnnLayer {
                 transpose_slices(weights.as_slice(), out_ch, patch, &mut scratch.weights_t);
                 scratch.prod.clear();
                 scratch.prod.resize(positions * out_ch, 0.0);
-                matmul_slices(
+                // Bias-seeded and skipping exact-zero patch entries: the
+                // convolution arm is inherently input-sparsity-aware, its
+                // FLOPs scale with the number of nonzero decoded activations
+                // gathered into the patch matrix.
+                matmul_sparse_slices(
                     &scratch.cols,
                     positions,
                     patch,
                     &scratch.weights_t,
                     out_ch,
+                    bias.as_slice(),
                     &mut scratch.prod,
                 );
                 out.clear();
                 out.resize(out_ch * positions, 0.0);
-                let bv = bias.as_slice();
                 for c in 0..out_ch {
                     for p in 0..positions {
-                        out[c * positions + p] = scratch.prod[p * out_ch + c] + bv[c];
+                        out[c * positions + p] = scratch.prod[p * out_ch + c];
                     }
                 }
             }
@@ -223,6 +302,45 @@ impl SnnLayer {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Sparsity-aware sibling of [`SnnLayer::forward_analog_into`]: `active`
+    /// holds the ascending indices of the nonzero entries of `input`, and
+    /// fully connected layers restrict their dot products to those columns
+    /// (`O(m·|active|)` instead of `O(m·n)`).
+    ///
+    /// Bit-identical to the dense pass by the sparse-kernel contract: the
+    /// skipped terms are all `w · 0.0`, bitwise no-ops on the bias-seeded
+    /// accumulator.  Convolutions and pooling delegate to the dense pass —
+    /// the convolution's patch-matrix kernel already skips exact-zero
+    /// activations element-wise, so its FLOPs scale with `|active|` either
+    /// way.
+    fn forward_sparse_into(
+        &self,
+        input: &[f32],
+        active: &[u32],
+        scratch: &mut ConvScratch,
+        out: &mut Vec<f32>,
+    ) {
+        match self {
+            SnnLayer::Linear { weights, bias } => {
+                let (m, n) = (weights.dims()[0], weights.dims()[1]);
+                out.clear();
+                out.resize(m, 0.0);
+                matvec_sparse_slices(
+                    weights.as_slice(),
+                    m,
+                    n,
+                    input,
+                    active,
+                    bias.as_slice(),
+                    out,
+                );
+            }
+            SnnLayer::Conv { .. } | SnnLayer::AvgPool { .. } => {
+                self.forward_analog_into(input, scratch, out);
             }
         }
     }
@@ -330,11 +448,13 @@ pub struct SimulationOutcome {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnnNetwork {
     layers: Vec<SnnLayer>,
+    sparsity: SparsityPolicy,
 }
 
 impl SnnNetwork {
     /// Creates a network after validating that consecutive layer widths
-    /// match.
+    /// match.  The simulation engine starts on the default
+    /// [`SparsityPolicy::auto`]; see [`SnnNetwork::with_sparsity`].
     ///
     /// # Errors
     /// Returns [`SnnError::Conversion`] for an empty chain or mismatched
@@ -354,7 +474,25 @@ impl SnnNetwork {
                 )));
             }
         }
-        Ok(SnnNetwork { layers })
+        Ok(SnnNetwork {
+            layers,
+            sparsity: SparsityPolicy::default(),
+        })
+    }
+
+    /// Sets the kernel-selection policy of the simulation engine (builder
+    /// style).  Purely a performance knob: every policy produces
+    /// bit-identical results, as pinned by the `workspace_bit_identity`
+    /// integration tests.
+    #[must_use]
+    pub fn with_sparsity(mut self, sparsity: SparsityPolicy) -> Self {
+        self.sparsity = sparsity;
+        self
+    }
+
+    /// The kernel-selection policy the simulation engine runs under.
+    pub fn sparsity(&self) -> SparsityPolicy {
+        self.sparsity
     }
 
     /// The layers of the network.
@@ -651,15 +789,19 @@ impl SnnNetwork {
         ws: &mut SimWorkspace,
     ) -> BatchOutcome {
         let num_layers = self.layers.len();
-        // Grow (never shrink) the per-layer raster pools, so buffers reach a
-        // fixed point and later samples allocate nothing.
+        // Grow (never shrink) the per-layer raster and active-index pools,
+        // so buffers reach a fixed point and later samples allocate nothing.
         if ws.rasters.len() < num_layers {
             ws.rasters.resize_with(num_layers, SpikeRaster::default);
         }
         if ws.received.len() < num_layers {
             ws.received.resize_with(num_layers, SpikeRaster::default);
         }
+        if ws.active.len() < num_layers {
+            ws.active.resize_with(num_layers, Vec::new);
+        }
         ws.spikes_per_layer.clear();
+        ws.density_per_layer.clear();
         // Encode the input pixels as the first spike raster.  Pixels are in
         // [0, 1]; the coding clamps to its ceiling.
         encode_vector_into(input, coding, cfg, &mut ws.rasters[0]);
@@ -678,10 +820,32 @@ impl SnnNetwork {
             };
             ws.spikes_per_layer.push(received.total_spikes());
 
-            // Integrate the received trains through the coding's PSC kernel.
-            coding.decode_into(received, cfg, &mut ws.decoded);
-
-            layer.forward_analog_into(&ws.decoded, &mut ws.conv, &mut ws.activation);
+            // Auto kernel selection on the raster's measured density (the
+            // fraction of neurons that fired at all — the active set the
+            // raster tracks).  Either branch produces bit-identical
+            // activations: the sparse branch only skips decoding silent
+            // trains (which decode to exactly +0.0) and `w · 0.0` product
+            // terms, so this is purely a speed decision.
+            let density = received.density();
+            ws.density_per_layer.push(density);
+            if layer.has_weights() && self.sparsity.use_sparse(density) {
+                // Sparse branch: decode only active trains, collect the
+                // nonzero column set, and run the gather kernels over it.
+                let active = &mut ws.active[index];
+                coding.decode_active_into(
+                    received,
+                    cfg,
+                    &mut ws.decoded,
+                    active,
+                    &mut ws.decode_scratch,
+                );
+                layer.forward_sparse_into(&ws.decoded, active, &mut ws.conv, &mut ws.activation);
+            } else {
+                // Dense branch: the pre-sparsity engine — decode every
+                // train, scan every column.
+                coding.decode_into(received, cfg, &mut ws.decoded);
+                layer.forward_analog_into(&ws.decoded, &mut ws.conv, &mut ws.activation);
+            }
             let is_last = index + 1 == num_layers;
             if !is_last {
                 for v in &mut ws.activation {
@@ -882,7 +1046,7 @@ mod tests {
             let ttas = net
                 .simulate(
                     &input,
-                    &TtasCoding::new(4),
+                    &TtasCoding::new(4).unwrap(),
                     &cfg,
                     &IdentityTransform,
                     &mut rng,

@@ -4,10 +4,21 @@ use serde::{Deserialize, Serialize};
 
 /// Spike trains of one layer over a fixed time window.
 ///
-/// Spikes are binary events; a train is the sorted list of time steps at
-/// which the neuron fired.  All value information is carried by *when* the
-/// spikes occur (and how many there are), which is what makes the different
-/// neural codings differ in their robustness to spike deletion and jitter.
+/// Spikes are **binary** events: a neuron either fires at a time step or it
+/// does not, so a train is the sorted list of *distinct* time steps at which
+/// the neuron fired.  Every mutation path normalises its trains (clamp to
+/// the window, sort, merge duplicates), which keeps train-based spike
+/// counts, decoded values and any dense 0/1 view of the raster consistent —
+/// e.g. two jittered spikes that collide on one step after clamping merge
+/// into a single spike instead of double-counting.  All value information is
+/// carried by *when* the spikes occur (and how many there are), which is
+/// what makes the different neural codings differ in their robustness to
+/// spike deletion and jitter.
+///
+/// A neuron with a non-empty train is *active*; the sparsity-aware
+/// simulation engine uses the active set (see
+/// [`SpikeRaster::num_active_trains`] / [`SpikeRaster::density`]) to skip
+/// work that empty trains cannot contribute.
 ///
 /// ```
 /// use nrsnn_snn::SpikeRaster;
@@ -17,6 +28,7 @@ use serde::{Deserialize, Serialize};
 /// raster.set_train(2, vec![0]);
 /// assert_eq!(raster.total_spikes(), 4);
 /// assert_eq!(raster.train(1), &[] as &[u32]);
+/// assert_eq!(raster.num_active_trains(), 2);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpikeRaster {
@@ -53,13 +65,38 @@ impl SpikeRaster {
     }
 
     /// Replaces the spike train of neuron `neuron`.  Times are clamped to
-    /// the window and sorted.
+    /// the window, sorted, and duplicates merged (spikes are binary events:
+    /// firing "twice" at one step is one spike).
     ///
     /// # Panics
     /// Panics if `neuron` is out of range.
     pub fn set_train(&mut self, neuron: usize, mut times: Vec<u32>) {
         normalize_train(&mut times, self.num_steps);
         self.trains[neuron] = times;
+    }
+
+    /// Returns `true` if neuron `neuron` fires at least once (its train is
+    /// non-empty).
+    ///
+    /// # Panics
+    /// Panics if `neuron` is out of range.
+    pub fn is_active(&self, neuron: usize) -> bool {
+        !self.trains[neuron].is_empty()
+    }
+
+    /// Number of active (non-empty-train) neurons.
+    pub fn num_active_trains(&self) -> usize {
+        self.trains.iter().filter(|t| !t.is_empty()).count()
+    }
+
+    /// Fraction of neurons that fire at least once — the activity measure
+    /// the sparsity-aware simulation engine selects its kernels by.  An
+    /// empty raster reports a density of `1.0` (nothing can be skipped).
+    pub fn density(&self) -> f32 {
+        if self.trains.is_empty() {
+            return 1.0;
+        }
+        self.num_active_trains() as f32 / self.trains.len() as f32
     }
 
     /// Iterates over `(neuron_index, spike_train)` pairs.
@@ -176,17 +213,34 @@ impl SpikeRaster {
     }
 }
 
-/// Clamps every time to the window and sorts — the shared normalisation of
-/// [`SpikeRaster::set_train`], [`SpikeRaster::fill_trains`] and
-/// [`SpikeRaster::map_trains_into`].
-fn normalize_train(times: &mut [u32], num_steps: u32) {
+/// Clamps every time to the window, sorts, and merges duplicate times — the
+/// shared normalisation of [`SpikeRaster::set_train`],
+/// [`SpikeRaster::fill_trains`], [`SpikeRaster::map_trains_into`] and
+/// [`SpikeRaster::update_trains`].
+///
+/// The dedup step *enforces* the raster's binary-spike semantics: clamping
+/// (or jitter) can land two spikes on the same step, and keeping both would
+/// make train lengths disagree with any dense 0/1 view of the raster and
+/// double-count the spike in every PSC decode.  Empty trains — the common
+/// case under sparse temporal codings — return immediately.
+fn normalize_train(times: &mut Vec<u32>, num_steps: u32) {
+    if times.is_empty() {
+        return;
+    }
     let max = num_steps.saturating_sub(1);
+    // Fast path: every encoder (and spike deletion, which preserves order)
+    // produces strictly increasing in-window trains, so one linear check
+    // usually replaces the clamp-sort-dedup work entirely.
+    if times.last().is_some_and(|&last| last <= max) && times.windows(2).all(|w| w[0] < w[1]) {
+        return;
+    }
     for t in times.iter_mut() {
         if *t > max {
             *t = max;
         }
     }
     times.sort_unstable();
+    times.dedup();
 }
 
 #[cfg(test)]
@@ -203,10 +257,30 @@ mod tests {
     }
 
     #[test]
-    fn set_train_sorts_and_clamps() {
+    fn set_train_sorts_clamps_and_merges_duplicates() {
         let mut r = SpikeRaster::new(1, 8);
+        // 9 and 20 both clamp onto step 7: binary semantics merge them.
         r.set_train(0, vec![9, 3, 20, 1]);
-        assert_eq!(r.train(0), &[1, 3, 7, 7]);
+        assert_eq!(r.train(0), &[1, 3, 7]);
+        // Explicit duplicates merge too.
+        r.set_train(0, vec![2, 2, 2, 5]);
+        assert_eq!(r.train(0), &[2, 5]);
+        assert_eq!(r.total_spikes(), 2);
+    }
+
+    #[test]
+    fn active_set_queries_reflect_non_empty_trains() {
+        let mut r = SpikeRaster::new(4, 16);
+        assert_eq!(r.num_active_trains(), 0);
+        assert_eq!(r.density(), 0.0);
+        r.set_train(0, vec![3]);
+        r.set_train(2, vec![1, 2]);
+        assert!(r.is_active(0));
+        assert!(!r.is_active(1));
+        assert_eq!(r.num_active_trains(), 2);
+        assert!((r.density() - 0.5).abs() < 1e-6);
+        // Empty rasters report full density: nothing can be skipped.
+        assert_eq!(SpikeRaster::new(0, 16).density(), 1.0);
     }
 
     #[test]

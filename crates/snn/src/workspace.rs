@@ -82,6 +82,20 @@ pub struct SimWorkspace {
     pub(crate) received: Vec<SpikeRaster>,
     /// PSC-decoded activations entering the current layer.
     pub(crate) decoded: Vec<f32>,
+    /// Per-layer active-index scratch: `active[i]` holds the ascending
+    /// indices of the nonzero entries of layer `i`'s decoded input — the
+    /// column set the sparse kernels restrict themselves to.  Per layer
+    /// (like the rasters) so every buffer reaches a fixed capacity after
+    /// warm-up.
+    pub(crate) active: Vec<Vec<u32>>,
+    /// Reusable decode scratch handed to
+    /// [`crate::NeuralCoding::decode_active_into`] (e.g. TTAS tabulates its
+    /// PSC kernel in here once per raster instead of exp-ing per spike).
+    pub(crate) decode_scratch: Vec<f32>,
+    /// Measured input density (`active.len() / input_width`) of each layer
+    /// in the most recent simulation — what the auto kernel selection
+    /// compared against its threshold.
+    pub(crate) density_per_layer: Vec<f32>,
     /// Dense output of the current layer; after a simulation this holds the
     /// logits of the output layer.
     pub(crate) activation: Vec<f32>,
@@ -119,15 +133,18 @@ impl SimWorkspace {
         }
         ws.decoded.reserve(max_width);
         ws.activation.reserve(max_width);
+        ws.decode_scratch.reserve(cfg.time_steps as usize);
         ws.spikes_per_layer.reserve(network.num_layers());
-        // One raster pair per layer, each with one (empty) train per input
-        // neuron of that layer; the per-train spike buffers still grow
-        // lazily on the first sample.
+        ws.density_per_layer.reserve(network.num_layers());
+        // One raster pair and one active-index buffer per layer, each sized
+        // for that layer's input width; the per-train spike buffers still
+        // grow lazily on the first sample.
         for layer in network.layers() {
             ws.rasters
                 .push(SpikeRaster::new(layer.input_width(), cfg.time_steps));
             ws.received
                 .push(SpikeRaster::new(layer.input_width(), cfg.time_steps));
+            ws.active.push(Vec::with_capacity(layer.input_width()));
         }
         ws
     }
@@ -142,6 +159,13 @@ impl SimWorkspace {
     /// simulation.
     pub fn spikes_per_layer(&self) -> &[usize] {
         &self.spikes_per_layer
+    }
+
+    /// Measured decoded-input density per layer (input layer first) of the
+    /// most recent simulation — the activity fractions the engine's
+    /// [`crate::SparsityPolicy`] compared against its threshold.
+    pub fn density_per_layer(&self) -> &[f32] {
+        &self.density_per_layer
     }
 }
 

@@ -71,6 +71,234 @@ pub fn transpose_slices(a: &[f32], m: usize, n: usize, out: &mut [f32]) {
     }
 }
 
+/// Canonicalises a bias value into an accumulator seed: `b + 0.0` equals `b`
+/// for every finite `b` *except* `-0.0`, which becomes `+0.0`.
+///
+/// This is the signed-zero corner of the sparse kernels: an IEEE-754 add can
+/// only produce `-0.0` from two `-0.0` operands, so an accumulator seeded
+/// with a non-`-0.0` value can never become `-0.0` — and adding a skipped
+/// term `w · 0.0 ∈ {+0.0, -0.0}` to such an accumulator is always a bitwise
+/// no-op.  Seeding with a raw `-0.0` bias would break that: the dense kernel
+/// would flip it to `+0.0` on the first skipped `+0.0` term while the sparse
+/// kernel (which never adds the term) stayed at `-0.0`.  Both kernel
+/// families therefore seed through this function, which makes the sparse
+/// and dense results bit-identical for every input (given finite weights;
+/// an infinite or NaN weight would turn a skipped term into `NaN`).
+#[inline]
+fn seed_from_bias(b: f32) -> f32 {
+    b + 0.0
+}
+
+/// Dense sibling of [`matvec_sparse_slices`]: computes
+/// `out[i] = (bias[i] + 0.0) + Σ_j a[i,j]·x[j]` over **all** columns in
+/// ascending order, with the accumulator seeded from the bias (see
+/// `seed_from_bias` for why the seed is canonicalised).
+///
+/// # Panics
+/// Debug-asserts the slice lengths; callers validate shapes.
+pub fn matvec_bias_slices(a: &[f32], m: usize, n: usize, x: &[f32], bias: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(bias.len(), m);
+    debug_assert_eq!(out.len(), m);
+    for i in 0..m {
+        let row = &a[i * n..(i + 1) * n];
+        let mut acc = seed_from_bias(bias[i]);
+        for (&w, &v) in row.iter().zip(x) {
+            acc += w * v;
+        }
+        out[i] = acc;
+    }
+}
+
+/// Sparsity-aware matrix–vector product: computes
+/// `out[i] = (bias[i] + 0.0) + Σ_{j ∈ active} a[i,j]·x[j]`, visiting only the
+/// `active` columns (ascending indices of the nonzero entries of `x`).
+///
+/// Skipping a column `j` with `x[j] == 0.0` drops the term `a[i,j] · (±0.0)
+/// ∈ {+0.0, -0.0}` from the accumulator; because the accumulator is seeded
+/// through `seed_from_bias` it can never be `-0.0`, so every skipped term
+/// is a bitwise no-op and the result is **bit-identical** to
+/// [`matvec_bias_slices`] whenever `active` contains every `j` with
+/// `x[j] != 0.0` and the matrix is finite.  Cost is `O(m·|active|)` instead
+/// of `O(m·n)`.
+///
+/// # Panics
+/// Debug-asserts the slice lengths and that `active` indices are in range;
+/// callers validate shapes.
+pub fn matvec_sparse_slices(
+    a: &[f32],
+    m: usize,
+    n: usize,
+    x: &[f32],
+    active: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(bias.len(), m);
+    debug_assert_eq!(out.len(), m);
+    debug_assert!(active.iter().all(|&j| (j as usize) < n));
+    // Four rows per pass: the gathered `x[j]` loads amortise over four
+    // independent accumulators.  Each accumulator still receives its terms
+    // in ascending `j` order, so the blocking cannot change a single bit of
+    // any output element.
+    let mut i = 0;
+    while i + 4 <= m {
+        let (r0, rest) = a[i * n..].split_at(n);
+        let (r1, rest) = rest.split_at(n);
+        let (r2, rest) = rest.split_at(n);
+        let r3 = &rest[..n];
+        let mut acc0 = seed_from_bias(bias[i]);
+        let mut acc1 = seed_from_bias(bias[i + 1]);
+        let mut acc2 = seed_from_bias(bias[i + 2]);
+        let mut acc3 = seed_from_bias(bias[i + 3]);
+        for &j in active {
+            let j = j as usize;
+            let xv = x[j];
+            acc0 += r0[j] * xv;
+            acc1 += r1[j] * xv;
+            acc2 += r2[j] * xv;
+            acc3 += r3[j] * xv;
+        }
+        out[i] = acc0;
+        out[i + 1] = acc1;
+        out[i + 2] = acc2;
+        out[i + 3] = acc3;
+        i += 4;
+    }
+    while i < m {
+        let row = &a[i * n..(i + 1) * n];
+        let mut acc = seed_from_bias(bias[i]);
+        for &j in active {
+            let j = j as usize;
+            acc += row[j] * x[j];
+        }
+        out[i] = acc;
+        i += 1;
+    }
+}
+
+/// Sparsity-aware matrix product with a per-column bias: computes
+/// `out[i,j] = (bias[j] + 0.0) + Σ_k a[i,k]·b[k,j]`, skipping every
+/// exact-zero `a[i,k]` entry, so cost is `O(nnz(a)·n + m·n)` instead of
+/// `O(m·k·n)`.
+///
+/// The accumulators are seeded through `seed_from_bias`; skipped terms
+/// contribute `(±0.0)·b[k,j] ∈ {+0.0, -0.0}` and are therefore bitwise
+/// no-ops by the same argument as [`matvec_sparse_slices`] (given finite
+/// `b`).  An empty `bias` means "no bias" (all accumulators seed from
+/// `+0.0`).
+///
+/// # Panics
+/// Debug-asserts the slice lengths; callers validate shapes.
+pub fn matmul_sparse_slices(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(bias.is_empty() || bias.len() == n);
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        if bias.is_empty() {
+            for o in out_row.iter_mut() {
+                *o = 0.0;
+            }
+        } else {
+            for (o, &bj) in out_row.iter_mut().zip(bias) {
+                *o = seed_from_bias(bj);
+            }
+        }
+        // ikj loop order keeps the inner loop contiguous over `b` and `out`.
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bkj;
+            }
+        }
+    }
+}
+
+/// [`matvec_sparse_slices`] over tensors into a reusable buffer: clears
+/// `out`, resizes it to `m` (keeping its capacity) and writes
+/// `(bias + 0.0) + a[:, active]·x[active]`.
+///
+/// # Errors
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] for
+/// invalid operands or an out-of-range active index.
+pub fn matvec_sparse_into(
+    a: &Tensor,
+    x: &Tensor,
+    active: &[u32],
+    bias: &Tensor,
+    out: &mut Vec<f32>,
+) -> Result<()> {
+    ensure_rank(a, 2, "matvec_sparse")?;
+    ensure_rank(x, 1, "matvec_sparse")?;
+    ensure_rank(bias, 1, "matvec_sparse")?;
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if x.len() != n || bias.len() != m || active.iter().any(|&j| (j as usize) >= n) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+            op: "matvec_sparse",
+        });
+    }
+    matvec_sparse_slices(
+        a.as_slice(),
+        m,
+        n,
+        x.as_slice(),
+        active,
+        bias.as_slice(),
+        reuse(out, m),
+    );
+    Ok(())
+}
+
+/// [`matmul_sparse_slices`] over tensors into a reusable buffer: clears
+/// `out`, resizes it to `m·n` (keeping its capacity) and writes the
+/// bias-seeded product, skipping exact-zero entries of `a`.
+///
+/// # Errors
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] for
+/// invalid operands (the bias must be empty or of length `n`).
+pub fn matmul_sparse_into(a: &Tensor, b: &Tensor, bias: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+    ensure_rank(a, 2, "matmul_sparse")?;
+    ensure_rank(b, 2, "matmul_sparse")?;
+    let (m, k1) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k1 != k2 || !(bias.is_empty() || bias.len() == n) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_sparse",
+        });
+    }
+    matmul_sparse_slices(
+        a.as_slice(),
+        m,
+        k1,
+        b.as_slice(),
+        n,
+        bias.as_slice(),
+        reuse(out, m * n),
+    );
+    Ok(())
+}
+
 fn reuse(buffer: &mut Vec<f32>, len: usize) -> &mut [f32] {
     buffer.clear();
     buffer.resize(len, 0.0);
@@ -322,6 +550,140 @@ mod tests {
         assert!(matvec_into(&m, &m, &mut buf).is_err());
         assert!(matvec_into(&m, &Tensor::from_slice(&[1.0]), &mut buf).is_err());
         assert!(transpose_into(&v, &mut buf).is_err());
+    }
+
+    fn bits(values: &[f32]) -> Vec<u32> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn active_indices(x: &[f32]) -> Vec<u32> {
+        x.iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(j, _)| j as u32)
+            .collect()
+    }
+
+    #[test]
+    fn sparse_matvec_is_bit_identical_to_dense_bias_seeded() {
+        // Mixed magnitudes, negative weights and exact zeros (both signs) in
+        // the input: the skipped terms cover +0.0 and -0.0 contributions.
+        let a = Tensor::from_vec(
+            vec![
+                1.5, -2.25, 0.5, -0.75, 3.0, -1.0, 0.125, 2.0, -0.5, 1.0, -4.0, 0.25,
+            ],
+            &[3, 4],
+        )
+        .unwrap();
+        let xs: Vec<Vec<f32>> = vec![
+            vec![0.3, 0.0, -1.2, 0.0],
+            vec![0.0, -0.0, 0.0, -0.0], // all-zero input: result must be exactly the seed
+            vec![1e-20, 0.0, -1e-20, 2.0],
+            vec![0.5, 0.25, 0.125, 1.0], // fully dense input
+        ];
+        let biases = [
+            vec![0.1f32, -0.2, 0.0],
+            vec![-0.0f32, -0.0, -0.0], // the signed-zero corner
+            vec![0.0f32, 0.0, 0.0],
+        ];
+        for x in &xs {
+            let active = active_indices(x);
+            for bias in &biases {
+                let mut dense = vec![9.0f32; 3];
+                let mut sparse = vec![-9.0f32; 3];
+                matvec_bias_slices(a.as_slice(), 3, 4, x, bias, &mut dense);
+                matvec_sparse_slices(a.as_slice(), 3, 4, x, &active, bias, &mut sparse);
+                assert_eq!(bits(&dense), bits(&sparse), "x {x:?} bias {bias:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_bias_is_canonicalised_identically_on_both_paths() {
+        // With a raw -0.0 seed the dense kernel's first skipped +0.0 term
+        // would flip the accumulator to +0.0 while the sparse kernel kept
+        // -0.0; seed_from_bias canonicalises the seed so both return +0.0.
+        let a = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]).unwrap();
+        let x = [0.0f32, 0.0];
+        let bias = [-0.0f32];
+        let mut dense = [f32::NAN];
+        let mut sparse = [f32::NAN];
+        matvec_bias_slices(a.as_slice(), 1, 2, &x, &bias, &mut dense);
+        matvec_sparse_slices(a.as_slice(), 1, 2, &x, &[], &bias, &mut sparse);
+        assert_eq!(dense[0].to_bits(), 0.0f32.to_bits());
+        assert_eq!(sparse[0].to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn sparse_matmul_is_bit_identical_to_dense_scan_with_bias() {
+        // Reference: seed each output row from the bias, then add every term
+        // (no zero skip) in the same ikj order.
+        let dense_reference = |a: &[f32], m: usize, k: usize, b: &[f32], n: usize, bias: &[f32]| {
+            let mut out = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    out[i * n + j] = if bias.is_empty() { 0.0 } else { bias[j] + 0.0 };
+                }
+                for kk in 0..k {
+                    for j in 0..n {
+                        out[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                    }
+                }
+            }
+            out
+        };
+        let a = vec![
+            0.0, 1.5, -0.0, 2.0, -3.0, 0.0, 0.0, -0.0, 0.5, 0.0, 0.25, -1.0,
+        ];
+        let b = vec![1.0, -2.0, 0.5, 3.0, -0.25, 4.0, 2.0, -1.5];
+        for bias in [vec![], vec![0.1f32, -0.0], vec![-0.5f32, 2.0]] {
+            let mut out = vec![7.0f32; 6];
+            matmul_sparse_slices(&a, 3, 4, &b, 2, &bias, &mut out);
+            let reference = dense_reference(&a, 3, 4, &b, 2, &bias);
+            assert_eq!(bits(&out), bits(&reference), "bias {bias:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_into_wrappers_validate_and_match_slices() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let x = Tensor::from_slice(&[0.5, 0.0, -1.0]);
+        let bias = Tensor::from_slice(&[0.25, -0.5]);
+        let mut out = Vec::new();
+        matvec_sparse_into(&a, &x, &[0, 2], &bias, &mut out).unwrap();
+        let mut reference = vec![0.0f32; 2];
+        matvec_bias_slices(
+            a.as_slice(),
+            2,
+            3,
+            x.as_slice(),
+            bias.as_slice(),
+            &mut reference,
+        );
+        assert_eq!(bits(&out), bits(&reference));
+
+        // Out-of-range active index, wrong bias width, wrong ranks.
+        assert!(matvec_sparse_into(&a, &x, &[3], &bias, &mut out).is_err());
+        assert!(matvec_sparse_into(&a, &x, &[0], &x, &mut out).is_err());
+        assert!(matvec_sparse_into(&x, &x, &[0], &bias, &mut out).is_err());
+
+        let b = Tensor::from_vec(vec![1.0, 0.0, -1.0, 2.0, 0.5, 1.5], &[3, 2]).unwrap();
+        let col_bias = Tensor::from_slice(&[1.0, -1.0]);
+        matmul_sparse_into(&a, &b, &col_bias, &mut out).unwrap();
+        let mut reference = vec![0.0f32; 4];
+        matmul_sparse_slices(
+            a.as_slice(),
+            2,
+            3,
+            b.as_slice(),
+            2,
+            col_bias.as_slice(),
+            &mut reference,
+        );
+        assert_eq!(bits(&out), bits(&reference));
+        assert!(matmul_sparse_into(&a, &a, &col_bias, &mut out).is_err());
+        assert!(matmul_sparse_into(&a, &b, &bias, &mut out).is_ok()); // len-2 bias fits n=2
+        assert!(matmul_sparse_into(&a, &b, &x, &mut out).is_err()); // len-3 bias does not
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use nrsnn::prelude::*;
 use nrsnn_data::DatasetSpec;
-use nrsnn_runtime::derive_seed;
-use nrsnn_snn::{SimulationOutcome, SnnLayer};
+use nrsnn_runtime::{derive_seed, parallel_map, ParallelConfig};
+use nrsnn_snn::{SimulationOutcome, SnnLayer, SparsityPolicy};
 use nrsnn_tensor::{Conv2dGeometry, Pool2dGeometry, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -294,6 +294,178 @@ fn simulate_batch_with_reused_workspace_matches_reference() {
             }
         }
     }
+}
+
+/// A deterministic hand-built MLP for the sparse/dense kernel matrix: small
+/// enough that the full `(coding × noise × batch) × thread-count` grid runs
+/// in seconds, with signed weights, a signed-zero bias entry and inputs
+/// containing exact zeros so the sparse kernels' skip set is non-trivial.
+fn matrix_network() -> SnnNetwork {
+    let fill = |rows: usize, cols: usize, scale: f32| -> Tensor {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 37 + 11) % 23) as f32 / 23.0 * scale - scale / 3.0)
+            .collect();
+        Tensor::from_vec(data, &[rows, cols]).unwrap()
+    };
+    let mut bias0 = vec![0.01f32; 18];
+    bias0[3] = -0.0; // the signed-zero corner rides through every combo
+    SnnNetwork::new(vec![
+        SnnLayer::Linear {
+            weights: fill(18, 24, 0.6),
+            bias: Tensor::from_vec(bias0, &[18]).unwrap(),
+        },
+        SnnLayer::Linear {
+            weights: fill(6, 18, 0.8),
+            bias: Tensor::zeros(&[6]),
+        },
+    ])
+    .unwrap()
+}
+
+fn matrix_inputs(samples: usize, width: usize) -> Tensor {
+    let data: Vec<f32> = (0..samples * width)
+        .map(|i| match i % 5 {
+            0 => 0.0, // exact zeros: silent input neurons
+            r => ((i * 13 + 5) % 29) as f32 / 29.0 * (r as f32 / 4.0),
+        })
+        .collect();
+    Tensor::from_vec(data, &[samples, width]).unwrap()
+}
+
+/// Property-style matrix for the sparsity-aware engine: 5 codings ×
+/// {deletion, jitter, composite} × batch sizes 1..=16, each simulated under
+/// the forced-dense, forced-sparse and auto kernel policies, asserting
+/// byte-equal logits, equal outcomes/spike counts and identical RNG streams.
+/// The whole matrix then re-runs fanned over 1 and 4 worker threads and the
+/// two runs' digests must agree bit for bit.
+#[test]
+fn sparse_and_dense_kernels_are_byte_identical_across_the_matrix() {
+    let base = matrix_network();
+    let inputs = matrix_inputs(16, 24);
+    let cfg = CodingConfig::new(48, 1.0);
+    let noise_names = ["deletion", "jitter", "composite"];
+    let build_noise = |name: &str| -> Box<dyn SpikeTransform> {
+        match name {
+            "deletion" => Box::new(DeletionNoise::new(0.5).unwrap()),
+            "jitter" => Box::new(JitterNoise::new(1.5).unwrap()),
+            "composite" => Box::new(
+                CompositeNoise::new()
+                    .then(DeletionNoise::new(0.3).unwrap())
+                    .then(JitterNoise::new(1.0).unwrap()),
+            ),
+            other => panic!("unknown noise {other}"),
+        }
+    };
+    let combos: Vec<(CodingKind, &str)> = all_codings()
+        .into_iter()
+        .flat_map(|kind| noise_names.iter().map(move |&n| (kind, n)))
+        .collect();
+
+    // One combo = one pool task; returns the digest of every logit bit the
+    // combo produced (under the auto policy) for the cross-thread check.
+    let run_combo = |&(kind, noise_name): &(CodingKind, &str)| -> Vec<u32> {
+        let coding = kind.build();
+        let noise = build_noise(noise_name);
+        let policies = [
+            ("dense", base.clone().with_sparsity(SparsityPolicy::Dense)),
+            ("sparse", base.clone().with_sparsity(SparsityPolicy::Sparse)),
+            ("auto", base.clone().with_sparsity(SparsityPolicy::auto())),
+        ];
+        let mut digest = Vec::new();
+        for batch in 1..=16usize {
+            let seed = derive_seed(4096, batch as u64);
+            // (outcome, logit bits) per sample, per policy.
+            let mut per_policy: Vec<Vec<(BatchOutcome, Vec<u32>)>> = Vec::new();
+            for (policy_name, network) in &policies {
+                let mut ws = SimWorkspace::new();
+                let mut seen = Vec::new();
+                network
+                    .simulate_batch_each(
+                        &inputs,
+                        0..batch,
+                        coding.as_ref(),
+                        &cfg,
+                        noise.as_ref(),
+                        |sample| StdRng::seed_from_u64(derive_seed(seed, sample as u64)),
+                        &mut ws,
+                        |_, outcome, ws| {
+                            seen.push((
+                                outcome,
+                                ws.logits().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            ));
+                        },
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} {noise_name} batch {batch} {policy_name}: {e}",
+                            kind.label()
+                        )
+                    });
+                per_policy.push(seen);
+            }
+            let (dense, rest) = per_policy.split_first().unwrap();
+            for (results, (policy_name, _)) in rest.iter().zip(&policies[1..]) {
+                assert_eq!(
+                    dense,
+                    results,
+                    "{} under {noise_name}, batch {batch}: {policy_name} diverged from dense",
+                    kind.label()
+                );
+            }
+            digest.extend(
+                per_policy[2]
+                    .iter()
+                    .flat_map(|(_, bits)| bits.iter().copied()),
+            );
+        }
+        // RNG-stream identity: after simulating the same sample, the dense
+        // and sparse engines must leave the generator in the same state.
+        let row = inputs.row_slice(0).unwrap();
+        let mut ws = SimWorkspace::new();
+        let mut rng_dense = StdRng::seed_from_u64(derive_seed(7, 7));
+        let mut rng_sparse = StdRng::seed_from_u64(derive_seed(7, 7));
+        policies[0]
+            .1
+            .simulate_with(
+                row,
+                coding.as_ref(),
+                &cfg,
+                noise.as_ref(),
+                &mut rng_dense,
+                &mut ws,
+            )
+            .unwrap();
+        policies[1]
+            .1
+            .simulate_with(
+                row,
+                coding.as_ref(),
+                &cfg,
+                noise.as_ref(),
+                &mut rng_sparse,
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(
+            rng_dense,
+            rng_sparse,
+            "{} under {noise_name}: RNG stream diverged between kernels",
+            kind.label()
+        );
+        digest
+    };
+
+    let serial = parallel_map(&ParallelConfig::with_threads(1), &combos, |_, combo| {
+        run_combo(combo)
+    });
+    let threaded = parallel_map(&ParallelConfig::with_threads(4), &combos, |_, combo| {
+        run_combo(combo)
+    });
+    assert_eq!(
+        serial, threaded,
+        "matrix digests differ across thread counts"
+    );
+    assert!(serial.iter().all(|digest| !digest.is_empty()));
 }
 
 /// Rebuilds a deletion sweep with a hand-rolled per-sample loop over the
