@@ -1,0 +1,363 @@
+//! Lossless conversions between the serve-side protocol/model types and
+//! their `nrsnn-wire` mirrors.
+//!
+//! `nrsnn-wire` cannot depend on this crate (the dependency points the
+//! other way), so it carries its own `Frame`/`StatsBody`/`ModelRecord`
+//! mirrors; every conversion here is total in the encode direction and
+//! bit-preserving in both (logits/weights keep their IEEE bits, seeds keep
+//! all 64 bits).  The determinism contract does not change: a reply is a
+//! function of model, input and seed — never of the wire format that
+//! carried it.
+
+use nrsnn_wire::{Frame, LayerDesc, ModelRecord, NoiseDesc, StatsBody};
+
+use crate::protocol::{InferenceReply, Request, Response};
+use crate::{LayerSpec, ModelSpec, NoiseSpec, ServeError, ServerStats};
+
+/// Converts a client request into its wire frame.
+pub fn request_to_frame(request: &Request) -> Frame {
+    match request {
+        Request::Infer { model, seed, input } => Frame::InferRequest {
+            model: model.clone(),
+            seed: *seed,
+            input: input.clone(),
+        },
+        Request::Stats => Frame::StatsRequest,
+        Request::ListModels => Frame::ListModelsRequest,
+        Request::Ping => Frame::PingRequest,
+    }
+}
+
+/// Converts a decoded wire frame into a client request.
+///
+/// # Errors
+/// [`ServeError::InvalidRequest`] if the frame is a reply type (the server
+/// only accepts request frames on its listening side).
+pub fn frame_to_request(frame: Frame) -> crate::Result<Request> {
+    match frame {
+        Frame::InferRequest { model, seed, input } => Ok(Request::Infer { model, seed, input }),
+        Frame::StatsRequest => Ok(Request::Stats),
+        Frame::ListModelsRequest => Ok(Request::ListModels),
+        Frame::PingRequest => Ok(Request::Ping),
+        other => Err(ServeError::InvalidRequest(format!(
+            "expected a request frame, got tag 0x{:02X}",
+            other.tag()
+        ))),
+    }
+}
+
+/// Converts a server response into its wire frame.
+pub fn response_to_frame(response: &Response) -> Frame {
+    match response {
+        Response::Infer(reply) => Frame::InferReply {
+            model: reply.model.clone(),
+            predicted: reply.predicted as u64,
+            logits: reply.logits.clone(),
+            total_spikes: reply.total_spikes as u64,
+            latency_us: reply.latency_us,
+        },
+        Response::Stats(stats) => Frame::StatsReply(stats_to_body(stats)),
+        Response::Models(models) => Frame::ModelsReply(models.clone()),
+        Response::Pong => Frame::PongReply,
+        Response::Error { code, message } => Frame::ErrorReply {
+            code: code.clone(),
+            message: message.clone(),
+        },
+    }
+}
+
+/// Converts a decoded wire frame into a server response.
+///
+/// # Errors
+/// [`ServeError::Io`] if the frame is a request type or carries counters
+/// that do not fit this platform's `usize` (a malformed response means the
+/// transport, not the request, is broken — mirroring
+/// [`crate::protocol::decode_response`]).
+pub fn frame_to_response(frame: Frame) -> crate::Result<Response> {
+    let narrow = |v: u64, what: &str| {
+        usize::try_from(v).map_err(|_| ServeError::Io(format!("{what} {v} does not fit usize")))
+    };
+    match frame {
+        Frame::InferReply {
+            model,
+            predicted,
+            logits,
+            total_spikes,
+            latency_us,
+        } => Ok(Response::Infer(InferenceReply {
+            model,
+            predicted: narrow(predicted, "predicted index")?,
+            logits,
+            total_spikes: narrow(total_spikes, "spike count")?,
+            latency_us,
+        })),
+        Frame::StatsReply(body) => Ok(Response::Stats(body_to_stats(body))),
+        Frame::ModelsReply(models) => Ok(Response::Models(models)),
+        Frame::PongReply => Ok(Response::Pong),
+        Frame::ErrorReply { code, message } => Ok(Response::Error { code, message }),
+        other => Err(ServeError::Io(format!(
+            "expected a reply frame, got tag 0x{:02X}",
+            other.tag()
+        ))),
+    }
+}
+
+/// Mirrors a metrics snapshot onto the wire.
+pub fn stats_to_body(stats: &ServerStats) -> StatsBody {
+    StatsBody {
+        requests_received: stats.requests_received,
+        requests_served: stats.requests_served,
+        rejected_busy: stats.rejected_busy,
+        failed: stats.failed,
+        batches: stats.batches,
+        batch_size_histogram: stats.batch_size_histogram.clone(),
+        mean_batch_size: stats.mean_batch_size,
+        p50_latency_us: stats.p50_latency_us,
+        p99_latency_us: stats.p99_latency_us,
+        mean_latency_us: stats.mean_latency_us,
+        total_spikes: stats.total_spikes,
+        spikes_per_inference: stats.spikes_per_inference,
+    }
+}
+
+/// Reconstructs a metrics snapshot from the wire.
+pub fn body_to_stats(body: StatsBody) -> ServerStats {
+    ServerStats {
+        requests_received: body.requests_received,
+        requests_served: body.requests_served,
+        rejected_busy: body.rejected_busy,
+        failed: body.failed,
+        batches: body.batches,
+        batch_size_histogram: body.batch_size_histogram,
+        mean_batch_size: body.mean_batch_size,
+        p50_latency_us: body.p50_latency_us,
+        p99_latency_us: body.p99_latency_us,
+        mean_latency_us: body.mean_latency_us,
+        total_spikes: body.total_spikes,
+        spikes_per_inference: body.spikes_per_inference,
+    }
+}
+
+fn noise_to_desc(noise: &NoiseSpec) -> NoiseDesc {
+    match noise {
+        NoiseSpec::Clean => NoiseDesc::Clean,
+        NoiseSpec::Deletion(p) => NoiseDesc::Deletion(*p),
+        NoiseSpec::Jitter(sigma) => NoiseDesc::Jitter(*sigma),
+        NoiseSpec::Composite(stages) => {
+            NoiseDesc::Composite(stages.iter().map(noise_to_desc).collect())
+        }
+    }
+}
+
+fn desc_to_noise(desc: NoiseDesc) -> NoiseSpec {
+    match desc {
+        NoiseDesc::Clean => NoiseSpec::Clean,
+        NoiseDesc::Deletion(p) => NoiseSpec::Deletion(p),
+        NoiseDesc::Jitter(sigma) => NoiseSpec::Jitter(sigma),
+        NoiseDesc::Composite(stages) => {
+            NoiseSpec::Composite(stages.into_iter().map(desc_to_noise).collect())
+        }
+    }
+}
+
+fn layer_to_desc(layer: &LayerSpec) -> LayerDesc {
+    match *layer {
+        LayerSpec::Linear { out, input } => LayerDesc::Linear { out, input },
+        LayerSpec::Conv {
+            out_channels,
+            in_channels,
+            in_height,
+            in_width,
+            kernel,
+            stride,
+            padding,
+        } => LayerDesc::Conv {
+            out_channels,
+            in_channels,
+            in_height,
+            in_width,
+            kernel,
+            stride,
+            padding,
+        },
+        LayerSpec::AvgPool {
+            channels,
+            in_height,
+            in_width,
+            window,
+            stride,
+        } => LayerDesc::AvgPool {
+            channels,
+            in_height,
+            in_width,
+            window,
+            stride,
+        },
+    }
+}
+
+fn desc_to_layer(desc: LayerDesc) -> LayerSpec {
+    match desc {
+        LayerDesc::Linear { out, input } => LayerSpec::Linear { out, input },
+        LayerDesc::Conv {
+            out_channels,
+            in_channels,
+            in_height,
+            in_width,
+            kernel,
+            stride,
+            padding,
+        } => LayerSpec::Conv {
+            out_channels,
+            in_channels,
+            in_height,
+            in_width,
+            kernel,
+            stride,
+            padding,
+        },
+        LayerDesc::AvgPool {
+            channels,
+            in_height,
+            in_width,
+            window,
+            stride,
+        } => LayerSpec::AvgPool {
+            channels,
+            in_height,
+            in_width,
+            window,
+            stride,
+        },
+    }
+}
+
+/// Mirrors a model specification onto the on-disk record.
+pub fn spec_to_record(spec: &ModelSpec) -> ModelRecord {
+    ModelRecord {
+        name: spec.name.clone(),
+        coding: spec.coding,
+        time_steps: spec.time_steps,
+        threshold: spec.threshold,
+        ttfs_tau_fraction: spec.ttfs_tau_fraction,
+        scaling: spec.scaling,
+        noise: noise_to_desc(&spec.noise),
+        master_seed: spec.master_seed,
+        layers: spec.layers.iter().map(layer_to_desc).collect(),
+        weights: spec.weights.clone(),
+    }
+}
+
+/// Reconstructs a model specification from an on-disk record.
+pub fn record_to_spec(record: ModelRecord) -> ModelSpec {
+    ModelSpec {
+        name: record.name,
+        coding: record.coding,
+        time_steps: record.time_steps,
+        threshold: record.threshold,
+        ttfs_tau_fraction: record.ttfs_tau_fraction,
+        scaling: record.scaling,
+        noise: desc_to_noise(record.noise),
+        master_seed: record.master_seed,
+        layers: record.layers.into_iter().map(desc_to_layer).collect(),
+        weights: record.weights,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrsnn_snn::{CodingConfig, CodingKind, SnnLayer, SnnNetwork};
+    use nrsnn_tensor::Tensor;
+
+    fn sample_spec() -> ModelSpec {
+        let network = SnnNetwork::new(vec![SnnLayer::Linear {
+            weights: Tensor::from_vec(vec![-0.0, 1.5e-42, f32::MAX, 0.25], &[2, 2]).unwrap(),
+            bias: Tensor::zeros(&[2]),
+        }])
+        .unwrap();
+        ModelSpec::from_network(
+            "conv-demo",
+            &network,
+            CodingKind::Ttas(5),
+            &CodingConfig::new(96, 1.0),
+            NoiseSpec::Composite(vec![NoiseSpec::Deletion(0.35), NoiseSpec::Jitter(1.5)]),
+            0.5,
+            (1u64 << 60) + 99,
+        )
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_through_frames() {
+        let requests = [
+            Request::Infer {
+                model: "m".to_string(),
+                seed: u64::MAX - 1,
+                input: vec![-0.0, 0.5],
+            },
+            Request::Stats,
+            Request::ListModels,
+            Request::Ping,
+        ];
+        for request in requests {
+            let back = frame_to_request(request_to_frame(&request)).unwrap();
+            assert_eq!(back, request);
+        }
+        let responses = [
+            Response::Infer(InferenceReply {
+                model: "m".to_string(),
+                predicted: 3,
+                logits: vec![-0.0, f32::MIN_POSITIVE / 2.0],
+                total_spikes: 77,
+                latency_us: 901,
+            }),
+            Response::Models(vec!["a".to_string()]),
+            Response::Pong,
+            Response::Error {
+                code: "busy".to_string(),
+                message: "server busy".to_string(),
+            },
+        ];
+        for response in responses {
+            let back = frame_to_response(response_to_frame(&response)).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn stats_mirror_is_field_complete() {
+        let stats = ServerStats {
+            requests_received: 1,
+            requests_served: 2,
+            rejected_busy: 3,
+            failed: 4,
+            batches: 5,
+            batch_size_histogram: vec![6, 7],
+            mean_batch_size: 8.5,
+            p50_latency_us: 9,
+            p99_latency_us: 10,
+            mean_latency_us: 11.25,
+            total_spikes: 12,
+            spikes_per_inference: 13.5,
+        };
+        assert_eq!(body_to_stats(stats_to_body(&stats)), stats);
+    }
+
+    #[test]
+    fn reply_frames_are_rejected_as_requests_and_vice_versa() {
+        assert!(frame_to_request(Frame::PongReply).is_err());
+        assert!(frame_to_response(Frame::PingRequest).is_err());
+    }
+
+    #[test]
+    fn model_spec_round_trips_through_the_record() {
+        let spec = sample_spec();
+        let back = record_to_spec(spec_to_record(&spec));
+        assert_eq!(back, spec);
+        for (a, b) in back.weights.params.iter().zip(&spec.weights.params) {
+            for (va, vb) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+}

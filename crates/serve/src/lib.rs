@@ -73,6 +73,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod batcher;
+pub mod binary;
 mod error;
 mod metrics;
 mod model;

@@ -486,6 +486,31 @@ impl ModelSpec {
     pub fn from_json(json: &str) -> Result<ModelSpec> {
         serde_json::from_str(json).map_err(|e| ServeError::Model(e.to_string()))
     }
+
+    /// Serializes the specification as a binary `nrsnn-wire` model file
+    /// image (`NRSM` magic; see `nrsnn_wire::model` for the layout).
+    /// Unlike [`ModelSpec::to_json`], the binary image is bit-exact and
+    /// roughly 3x smaller: weights travel as raw IEEE bits and the master
+    /// seed as a full u64.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Model`] for specs the format cannot carry
+    /// (dimensions above `u32::MAX`, nested composite noise).
+    pub fn to_binary(&self) -> Result<Vec<u8>> {
+        nrsnn_wire::encode_model(&crate::binary::spec_to_record(self))
+            .map_err(|e| ServeError::Model(e.to_string()))
+    }
+
+    /// Parses a specification from a binary model file image.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Model`] on any decode failure (bad magic,
+    /// unsupported version, truncation, corrupt payload).
+    pub fn from_binary(bytes: &[u8]) -> Result<ModelSpec> {
+        nrsnn_wire::decode_model(bytes)
+            .map(crate::binary::record_to_spec)
+            .map_err(|e| ServeError::Model(e.to_string()))
+    }
 }
 
 impl Serialize for ModelSpec {

@@ -55,14 +55,31 @@ impl ModelRegistry {
         self.register_spec(&ModelSpec::from_json(json)?)
     }
 
-    /// Reads a JSON model file from disk and registers it.
+    /// Parses a binary (`NRSM`) model file image and registers it.
+    ///
+    /// # Errors
+    /// Propagates decode, build and duplicate-name failures.
+    pub fn load_binary(&mut self, bytes: &[u8]) -> Result<()> {
+        self.register_spec(&ModelSpec::from_binary(bytes)?)
+    }
+
+    /// Reads a model file from disk and registers it, sniffing the format
+    /// from the first byte: `N` (the `NRSM` magic) means binary, anything
+    /// else is treated as JSON (a JSON spec always starts with `{`).
     ///
     /// # Errors
     /// Propagates I/O, parse, build and duplicate-name failures.
     pub fn load_file<P: AsRef<Path>>(&mut self, path: P) -> Result<()> {
-        let json = std::fs::read_to_string(path.as_ref())
+        let bytes = std::fs::read(path.as_ref())
             .map_err(|e| ServeError::Model(format!("read {}: {e}", path.as_ref().display())))?;
-        self.load_json(&json)
+        if bytes.first() == Some(&b'N') {
+            self.load_binary(&bytes)
+        } else {
+            let json = String::from_utf8(bytes).map_err(|e| {
+                ServeError::Model(format!("{}: not UTF-8: {e}", path.as_ref().display()))
+            })?;
+            self.load_json(&json)
+        }
     }
 
     /// Index of the named model, if registered.

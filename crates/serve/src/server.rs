@@ -28,8 +28,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use nrsnn_runtime::WorkerPool;
+use nrsnn_wire::{FrameHeader, FRAME_HEADER_LEN, FRAME_MAGIC};
 
 use crate::batcher::{worker_loop, ServerCore};
+use crate::binary::{frame_to_request, frame_to_response, request_to_frame, response_to_frame};
 use crate::protocol::{decode_request, decode_response, encode_line, Request, Response};
 use crate::{InferenceReply, ModelRegistry, Result, ServeError, ServerConfig, ServerStats};
 
@@ -293,8 +295,13 @@ fn write_all_polling(writer: &mut TcpStream, bytes: &[u8], stop: &AtomicBool) ->
     true
 }
 
-/// Serves one TCP connection: one request line in, one response line out,
-/// until EOF, error or server shutdown.
+/// Serves one TCP connection until EOF, error or server shutdown.
+///
+/// The protocol is negotiated per connection by sniffing the first byte
+/// without consuming it: [`FRAME_MAGIC`] selects the binary framing, and
+/// anything else — in particular `{`, the first byte of every JSON
+/// request — falls back to the newline-delimited JSON protocol.  A
+/// connection never switches protocols after its first byte.
 fn handle_connection(core: &ServerCore, stop: &AtomicBool, stream: TcpStream) {
     if stream.set_read_timeout(Some(TCP_POLL_INTERVAL)).is_err()
         || stream.set_write_timeout(Some(TCP_POLL_INTERVAL)).is_err()
@@ -306,6 +313,40 @@ fn handle_connection(core: &ServerCore, stop: &AtomicBool, stream: TcpStream) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    // Peek at the first byte: `fill_buf` does not consume, so whichever
+    // protocol loop runs next still sees the byte.
+    let first = loop {
+        match reader.fill_buf() {
+            Ok([]) => return, // closed before sending anything
+            Ok(buf) => break buf[0],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) || core.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    };
+    if first == FRAME_MAGIC {
+        handle_binary_connection(core, stop, &mut reader, &mut writer);
+    } else {
+        handle_json_connection(core, stop, &mut reader, &mut writer);
+    }
+}
+
+/// The JSON loop: one request line in, one response line out.
+fn handle_json_connection(
+    core: &ServerCore,
+    stop: &AtomicBool,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+) {
     // Lines are accumulated as raw bytes: unlike `read_line`, `read_until`
     // keeps everything already read in the buffer when the poll timeout
     // fires, even if the timeout split a multi-byte UTF-8 character.
@@ -317,7 +358,7 @@ fn handle_connection(core: &ServerCore, stop: &AtomicBool, stream: TcpStream) {
                 let text = String::from_utf8_lossy(&line);
                 if !text.trim().is_empty() {
                     let response = process_line(core, &text);
-                    if !write_all_polling(&mut writer, encode_line(&response).as_bytes(), stop) {
+                    if !write_all_polling(writer, encode_line(&response).as_bytes(), stop) {
                         return;
                     }
                 }
@@ -341,16 +382,131 @@ fn handle_connection(core: &ServerCore, stop: &AtomicBool, stream: TcpStream) {
     }
 }
 
+/// Outcome of a polling read of an exact number of bytes.
+enum ReadFull {
+    /// The buffer was filled.
+    Filled,
+    /// EOF before the buffer was filled (a clean close when it lands on a
+    /// frame boundary, a truncated frame otherwise — the connection closes
+    /// either way, since a gone peer cannot be answered).
+    Eof,
+    /// Shutdown was signalled or the stream failed.
+    Aborted,
+}
+
+/// Fills `buf` completely from `reader`, honouring the stream's read
+/// timeout: partial progress is kept across timeouts, and the stop flag is
+/// re-checked on every timeout (the binary-framing counterpart of the JSON
+/// loop's `read_until` handling).
+fn read_full_polling(
+    core: &ServerCore,
+    stop: &AtomicBool,
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+) -> ReadFull {
+    use std::io::Read;
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return ReadFull::Eof,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) || core.is_shutting_down() {
+                    return ReadFull::Aborted;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadFull::Aborted,
+        }
+    }
+    ReadFull::Filled
+}
+
+/// Sends one response as a binary frame; returns `false` when the
+/// connection should be closed.
+fn write_response_frame(writer: &mut TcpStream, stop: &AtomicBool, response: &Response) -> bool {
+    match nrsnn_wire::encode_frame(&response_to_frame(response)) {
+        Ok(bytes) => write_all_polling(writer, &bytes, stop),
+        Err(_) => false,
+    }
+}
+
+/// The binary loop: one length-prefixed frame in, one frame out.
+///
+/// Malformed input is answered, never hung on and never panicked over:
+/// a **header-level** fault (bad magic, unsupported version, oversized
+/// length) means framing is lost and resynchronisation is impossible, so
+/// the server sends one typed error frame and closes; a **payload-level**
+/// fault (corrupt body, unknown tag, reply-typed frame) leaves the framing
+/// intact, so the server answers with an error frame and keeps serving the
+/// connection's subsequent requests.
+fn handle_binary_connection(
+    core: &ServerCore,
+    stop: &AtomicBool,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+) {
+    loop {
+        let mut header_bytes = [0u8; FRAME_HEADER_LEN];
+        match read_full_polling(core, stop, reader, &mut header_bytes) {
+            ReadFull::Filled => {}
+            // EOF between frames is a clean close; EOF inside a header is
+            // a truncated frame, but with the peer gone there is nobody
+            // left to answer.
+            ReadFull::Eof | ReadFull::Aborted => return,
+        }
+        let header = match FrameHeader::parse(&header_bytes) {
+            Ok(header) => header,
+            Err(e) => {
+                let error = ServeError::InvalidRequest(e.to_string());
+                write_response_frame(writer, stop, &Response::from_error(&error));
+                return;
+            }
+        };
+        // The header passed the MAX_FRAME_LEN cap, so this allocation is
+        // bounded regardless of what the peer announced.
+        let mut payload = vec![0u8; header.payload_len as usize];
+        match read_full_polling(core, stop, reader, &mut payload) {
+            ReadFull::Filled => {}
+            ReadFull::Eof | ReadFull::Aborted => return,
+        }
+        let response = match nrsnn_wire::decode_payload(&payload)
+            .map_err(|e| ServeError::InvalidRequest(e.to_string()))
+            .and_then(frame_to_request)
+        {
+            Ok(request) => process_request(core, request),
+            Err(e) => Response::from_error(&e),
+        };
+        if !write_response_frame(writer, stop, &response) {
+            return;
+        }
+    }
+}
+
 /// Decodes and executes one request line (the connection thread blocks
 /// while its inference request is in flight — pipelining happens across
 /// connections, batching across requests).
 fn process_line(core: &ServerCore, line: &str) -> Response {
     match decode_request(line) {
         Err(e) => Response::from_error(&e),
-        Ok(Request::Ping) => Response::Pong,
-        Ok(Request::Stats) => Response::Stats(core.metrics.snapshot()),
-        Ok(Request::ListModels) => Response::Models(core.registry.names()),
-        Ok(Request::Infer { model, seed, input }) => {
+        Ok(request) => process_request(core, request),
+    }
+}
+
+/// Executes one decoded request — shared by the JSON and binary loops, so
+/// the reply is a function of the request alone, never of the wire format
+/// that carried it.
+fn process_request(core: &ServerCore, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::Stats(core.metrics.snapshot()),
+        Request::ListModels => Response::Models(core.registry.names()),
+        Request::Infer { model, seed, input } => {
             match core
                 .submit(&model, input, seed)
                 .and_then(|slot| slot.wait())
@@ -417,35 +573,67 @@ impl std::fmt::Debug for Client {
     }
 }
 
-/// Blocking TCP client speaking the newline-delimited JSON protocol
-/// (used by the load generator, the end-to-end tests and as a reference
-/// implementation for clients in other languages).
+/// Blocking TCP client of the front-end (used by the load generator, the
+/// end-to-end tests and as a reference implementation for clients in other
+/// languages).  [`TcpClient::connect`] speaks the newline-delimited JSON
+/// protocol; [`TcpClient::connect_binary`] speaks the `nrsnn-wire` binary
+/// framing.  Replies are bit-identical either way — the format is
+/// negotiated per connection by the first byte the client sends.
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    binary: bool,
 }
 
 impl TcpClient {
-    /// Connects to a server's TCP front-end.
-    ///
-    /// # Errors
-    /// Returns [`ServeError::Io`] on connection failure.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpClient> {
+    fn connect_with<A: ToSocketAddrs>(addr: A, binary: bool) -> Result<TcpClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
         Ok(TcpClient {
             reader: BufReader::new(stream),
             writer,
+            binary,
         })
     }
 
-    /// Sends one request and reads the matching response line.
+    /// Connects to a server's TCP front-end, speaking JSON.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Io`] on connection failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpClient> {
+        TcpClient::connect_with(addr, false)
+    }
+
+    /// Connects to a server's TCP front-end, speaking the binary framing
+    /// (the server switches on the magic first byte of the first frame).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Io`] on connection failure.
+    pub fn connect_binary<A: ToSocketAddrs>(addr: A) -> Result<TcpClient> {
+        TcpClient::connect_with(addr, true)
+    }
+
+    /// Returns `true` if this client speaks the binary framing.
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
+    /// Sends one request and reads the matching response (one JSON line or
+    /// one binary frame, as negotiated at connect time).
     ///
     /// # Errors
     /// Returns [`ServeError::Io`] on transport failures or a malformed
     /// response.
     pub fn request(&mut self, request: &Request) -> Result<Response> {
+        if self.binary {
+            let bytes = nrsnn_wire::encode_frame(&request_to_frame(request))
+                .map_err(|e| ServeError::Io(e.to_string()))?;
+            self.writer.write_all(&bytes).map_err(ServeError::from)?;
+            let frame = nrsnn_wire::read_frame(&mut self.reader)
+                .map_err(|e| ServeError::Io(e.to_string()))?;
+            return frame_to_response(frame);
+        }
         self.writer
             .write_all(encode_line(request).as_bytes())
             .map_err(ServeError::from)?;
@@ -531,7 +719,9 @@ impl TcpClient {
 
 impl std::fmt::Debug for TcpClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpClient").finish()
+        f.debug_struct("TcpClient")
+            .field("binary", &self.binary)
+            .finish()
     }
 }
 

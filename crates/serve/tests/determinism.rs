@@ -232,6 +232,88 @@ fn probe_request_is_invariant_to_its_batch_companions() {
 }
 
 #[test]
+fn cross_format_matrix_is_bit_identical() {
+    // The wire format is transport, not semantics: for every (workers,
+    // max_batch) policy, the in-process client, a JSON TCP client and a
+    // binary TCP client run *concurrently* against one server (so JSON and
+    // binary connections interleave in the same queue) and every reply must
+    // be bit-equal to the offline `simulate_with` reference.
+    let requests: Vec<(u64, Vec<f32>)> = (0..16).map(|i| (2000 + i, input_for(40 + i))).collect();
+    let references: Vec<(usize, Vec<u32>)> = requests
+        .iter()
+        .map(|(seed, input)| offline_logits(input, *seed))
+        .collect();
+
+    for (workers, max_batch) in [(1usize, 1usize), (1, 16), (4, 1), (4, 16)] {
+        let mut server = Server::start(
+            registry(),
+            ServerConfig {
+                workers,
+                max_batch,
+                batch_window: Duration::from_micros(200),
+                queue_capacity: 1024,
+            },
+        )
+        .unwrap();
+        let addr = server.serve_tcp(("127.0.0.1", 0)).unwrap();
+        let requests = Arc::new(requests.clone());
+
+        enum Transport {
+            InProcess,
+            Json,
+            Binary,
+        }
+        let threads: Vec<_> = [Transport::InProcess, Transport::Json, Transport::Binary]
+            .into_iter()
+            .map(|transport| {
+                let requests = Arc::clone(&requests);
+                let in_process = server.client();
+                std::thread::spawn(move || {
+                    let mut tcp = match transport {
+                        Transport::InProcess => None,
+                        Transport::Json => Some(nrsnn_serve::TcpClient::connect(addr).unwrap()),
+                        Transport::Binary => {
+                            Some(nrsnn_serve::TcpClient::connect_binary(addr).unwrap())
+                        }
+                    };
+                    requests
+                        .iter()
+                        .enumerate()
+                        .map(|(index, (seed, input))| {
+                            let reply = match tcp.as_mut() {
+                                None => in_process.infer_retrying(MODEL, input, *seed).unwrap(),
+                                Some(client) => client.infer_retrying(MODEL, input, *seed).unwrap(),
+                            };
+                            (index, reply)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+
+        for thread in threads {
+            for (index, reply) in thread.join().unwrap() {
+                let (expected_predicted, expected_bits) = &references[index];
+                assert_eq!(
+                    reply.predicted, *expected_predicted,
+                    "policy ({workers},{max_batch}) request {index}"
+                );
+                assert_eq!(
+                    logits_bits(&reply.logits),
+                    *expected_bits,
+                    "policy ({workers},{max_batch}) request {index}: \
+                     reply depends on the wire format"
+                );
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests_served, 3 * requests.len() as u64);
+        assert_eq!(stats.failed, 0);
+        server.shutdown();
+    }
+}
+
+#[test]
 fn distinct_seeds_actually_change_the_noise_realisation() {
     // Sanity check that the determinism above is not vacuous: with 35 %
     // deletion, different request seeds must produce different logits for

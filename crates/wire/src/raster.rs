@@ -1,0 +1,416 @@
+//! Sparse/dense spike-raster codec.
+//!
+//! A [`SpikeRaster`] is mostly empty under the paper's temporal codings
+//! (TTFS fires once per active neuron, deletion noise empties trains
+//! outright), so the primary encoding is an index/value split in the style
+//! of psyche's `sparse_idx`/`sparse_val` tensors: the ascending indices of
+//! the active trains, their spike counts, then every spike time
+//! concatenated.  Dense rasters (rate coding at high intensity) fall back
+//! to a 0/1 bitmap when that is the smaller encoding.
+//!
+//! ```text
+//! raster := num_neurons:u32  num_steps:u32  mode:u8  body
+//! mode 0 (sparse):
+//!     active:u32                     // number of non-empty trains
+//!     sparse_idx: active x u32       // neuron indices, strictly ascending
+//!     sparse_len: active x u32       // spikes per active train
+//!     sparse_val: sum(len) x tw      // spike times, train by train,
+//!                                    // strictly ascending within a train
+//! mode 1 (dense):
+//!     bitmap: ceil(num_neurons * num_steps / 8) bytes
+//!             // bit (n * num_steps + t) = neuron n fires at step t,
+//!             // LSB-first within a byte; padding bits must be zero
+//! ```
+//!
+//! `tw` is the spike-time width implied by the window length:
+//! 1 byte for `num_steps <= 256`, 2 bytes for `<= 65536`, else 4 — the
+//! typical 96-step window ships each spike as a single byte.
+//!
+//! **Mode selection** is deterministic: the encoder computes both body
+//! sizes and picks the dense bitmap iff it is strictly smaller than the
+//! sparse split (for an all-active rate raster the bitmap wins; up to a
+//! density around `8 / (8 + num_steps * tw)` per-train bookkeeping makes
+//! sparse win).  Decoders accept either mode regardless, so the rule can
+//! change without a version bump; re-bless the golden fixtures if it does.
+//!
+//! Because spike trains are stored strictly ascending and in-window — the
+//! exact invariant [`SpikeRaster`] maintains — `decode(encode(r))`
+//! reproduces `r` exactly, and the decoder rejects any byte sequence that
+//! would require re-normalisation (unsorted, duplicate or out-of-window
+//! times) instead of silently fixing it up.
+
+use nrsnn_snn::SpikeRaster;
+
+use crate::{ByteReader, ByteWriter, Result, WireError};
+
+/// Hard cap on `num_neurons` and on `num_steps` accepted by the decoder:
+/// a hostile header must not be able to make the decoder allocate
+/// millions of empty trains for a few bytes of input.  2^22 neurons is
+/// three orders of magnitude above every network in this workspace.
+pub const MAX_RASTER_DIM: u32 = 1 << 22;
+
+/// Sparse mode tag.
+const MODE_SPARSE: u8 = 0;
+/// Dense-bitmap mode tag.
+const MODE_DENSE: u8 = 1;
+
+/// Bytes per spike time for a window of `num_steps` steps.
+fn time_width(num_steps: u32) -> usize {
+    if num_steps <= 0x100 {
+        1
+    } else if num_steps <= 0x1_0000 {
+        2
+    } else {
+        4
+    }
+}
+
+/// Appends one raster body to `w` (see the module docs for the layout).
+///
+/// # Errors
+/// Returns [`WireError::InvalidPayload`] if the raster exceeds
+/// [`MAX_RASTER_DIM`] in either dimension.
+pub fn write_raster(w: &mut ByteWriter, raster: &SpikeRaster) -> Result<()> {
+    let num_neurons = u32::try_from(raster.num_neurons())
+        .ok()
+        .filter(|&n| n <= MAX_RASTER_DIM)
+        .ok_or_else(|| {
+            WireError::InvalidPayload(format!(
+                "raster has {} neurons, cap is {MAX_RASTER_DIM}",
+                raster.num_neurons()
+            ))
+        })?;
+    let num_steps = raster.num_steps();
+    if num_steps > MAX_RASTER_DIM {
+        return Err(WireError::InvalidPayload(format!(
+            "raster window of {num_steps} steps exceeds the cap of {MAX_RASTER_DIM}"
+        )));
+    }
+    w.put_u32(num_neurons);
+    w.put_u32(num_steps);
+
+    let tw = time_width(num_steps);
+    let active = raster.num_active_trains();
+    let total_spikes = raster.total_spikes();
+    let sparse_bytes = 4 + active * 8 + total_spikes * tw;
+    let dense_bits = num_neurons as u64 * num_steps as u64;
+    let dense_bytes = dense_bits.div_ceil(8);
+
+    if dense_bytes < sparse_bytes as u64 {
+        w.put_u8(MODE_DENSE);
+        let mut bitmap = vec![0u8; dense_bytes as usize];
+        for (neuron, train) in raster.iter() {
+            let base = neuron as u64 * num_steps as u64;
+            for &t in train {
+                let bit = base + t as u64;
+                bitmap[(bit / 8) as usize] |= 1 << (bit % 8);
+            }
+        }
+        w.put_bytes(&bitmap);
+    } else {
+        w.put_u8(MODE_SPARSE);
+        w.put_u32(active as u32);
+        for (neuron, train) in raster.iter() {
+            if !train.is_empty() {
+                w.put_u32(neuron as u32);
+            }
+        }
+        for (_, train) in raster.iter() {
+            if !train.is_empty() {
+                w.put_u32(train.len() as u32);
+            }
+        }
+        for (_, train) in raster.iter() {
+            for &t in train {
+                match tw {
+                    1 => w.put_u8(t as u8),
+                    2 => w.put_u16(t as u16),
+                    _ => w.put_u32(t),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads one raster body from `r` (the inverse of [`write_raster`]).
+///
+/// # Errors
+/// Typed [`WireError`]s for truncation, dimension caps, unknown mode
+/// bytes, unsorted/duplicate/out-of-window spike times, non-ascending
+/// neuron indices and non-zero bitmap padding.
+pub fn read_raster(r: &mut ByteReader<'_>) -> Result<SpikeRaster> {
+    let num_neurons = r.get_u32()?;
+    let num_steps = r.get_u32()?;
+    if num_neurons > MAX_RASTER_DIM || num_steps > MAX_RASTER_DIM {
+        return Err(WireError::InvalidPayload(format!(
+            "raster of {num_neurons} neurons x {num_steps} steps exceeds the cap of {MAX_RASTER_DIM}"
+        )));
+    }
+    let mode = r.get_u8()?;
+    let tw = time_width(num_steps);
+    let mut raster = SpikeRaster::new(num_neurons as usize, num_steps);
+    match mode {
+        MODE_SPARSE => {
+            // idx + len cost 8 bytes per active train; get_len validates
+            // presence before anything is allocated from the count.
+            let active = r.get_len(8)?;
+            let mut indices = Vec::with_capacity(active);
+            let mut previous: Option<u32> = None;
+            for _ in 0..active {
+                let idx = r.get_u32()?;
+                if idx >= num_neurons {
+                    return Err(WireError::InvalidPayload(format!(
+                        "sparse index {idx} out of range for {num_neurons} neurons"
+                    )));
+                }
+                if previous.is_some_and(|p| idx <= p) {
+                    return Err(WireError::InvalidPayload(
+                        "sparse indices must be strictly ascending".to_string(),
+                    ));
+                }
+                previous = Some(idx);
+                indices.push(idx);
+            }
+            let mut lens = Vec::with_capacity(active);
+            let mut total: u64 = 0;
+            for _ in 0..active {
+                let len = r.get_u32()?;
+                if len == 0 {
+                    return Err(WireError::InvalidPayload(
+                        "sparse train with zero spikes must be omitted".to_string(),
+                    ));
+                }
+                total += u64::from(len);
+                lens.push(len);
+            }
+            if total.saturating_mul(tw as u64) > r.remaining() as u64 {
+                return Err(WireError::Truncated {
+                    needed: (total * tw as u64).min(usize::MAX as u64) as usize,
+                    have: r.remaining(),
+                });
+            }
+            for (&idx, &len) in indices.iter().zip(&lens) {
+                let mut train = Vec::with_capacity(len as usize);
+                let mut last: Option<u32> = None;
+                for _ in 0..len {
+                    let t = match tw {
+                        1 => u32::from(r.get_u8()?),
+                        2 => u32::from(r.get_u16()?),
+                        _ => r.get_u32()?,
+                    };
+                    if t >= num_steps {
+                        return Err(WireError::InvalidPayload(format!(
+                            "spike time {t} outside the {num_steps}-step window"
+                        )));
+                    }
+                    if last.is_some_and(|p| t <= p) {
+                        return Err(WireError::InvalidPayload(
+                            "spike times must be strictly ascending within a train".to_string(),
+                        ));
+                    }
+                    last = Some(t);
+                    train.push(t);
+                }
+                raster.set_train(idx as usize, train);
+            }
+        }
+        MODE_DENSE => {
+            let dense_bits = num_neurons as u64 * num_steps as u64;
+            let dense_bytes = dense_bits.div_ceil(8) as usize;
+            let bitmap = r.take(dense_bytes)?;
+            // Padding bits beyond the last neuron/step must be zero so the
+            // dense encoding of a raster is unique.
+            if dense_bits % 8 != 0 {
+                let padding = bitmap[dense_bytes - 1] >> (dense_bits % 8);
+                if padding != 0 {
+                    return Err(WireError::InvalidPayload(
+                        "non-zero padding bits in dense raster bitmap".to_string(),
+                    ));
+                }
+            }
+            for neuron in 0..num_neurons as usize {
+                let base = neuron as u64 * num_steps as u64;
+                let mut train = Vec::new();
+                for t in 0..num_steps {
+                    let bit = base + t as u64;
+                    if bitmap[(bit / 8) as usize] & (1 << (bit % 8)) != 0 {
+                        train.push(t);
+                    }
+                }
+                if !train.is_empty() {
+                    raster.set_train(neuron, train);
+                }
+            }
+        }
+        other => return Err(WireError::UnknownTag { tag: other }),
+    }
+    Ok(raster)
+}
+
+/// Encodes one raster as a standalone byte string.
+///
+/// # Errors
+/// See [`write_raster`].
+pub fn encode_raster(raster: &SpikeRaster) -> Result<Vec<u8>> {
+    let mut w = ByteWriter::new();
+    write_raster(&mut w, raster)?;
+    Ok(w.into_bytes())
+}
+
+/// Decodes a standalone raster byte string, requiring every byte to be
+/// consumed.
+///
+/// # Errors
+/// See [`read_raster`]; additionally [`WireError::TrailingBytes`] for
+/// leftover input.
+pub fn decode_raster(bytes: &[u8]) -> Result<SpikeRaster> {
+    let mut r = ByteReader::new(bytes);
+    let raster = read_raster(&mut r)?;
+    r.expect_exhausted()?;
+    Ok(raster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(raster: &SpikeRaster) -> SpikeRaster {
+        let bytes = encode_raster(raster).unwrap();
+        let back = decode_raster(&bytes).unwrap();
+        assert_eq!(&back, raster);
+        back
+    }
+
+    #[test]
+    fn empty_and_tiny_rasters_round_trip() {
+        round_trip(&SpikeRaster::new(0, 0));
+        round_trip(&SpikeRaster::new(0, 96));
+        round_trip(&SpikeRaster::new(17, 0));
+        round_trip(&SpikeRaster::new(5, 96)); // all-empty trains
+        let mut single = SpikeRaster::new(3, 96);
+        single.set_train(1, vec![42]);
+        round_trip(&single);
+    }
+
+    #[test]
+    fn sparse_and_dense_modes_agree() {
+        // Mostly-empty: sparse mode.
+        let mut sparse = SpikeRaster::new(64, 96);
+        sparse.set_train(3, vec![0, 9, 95]);
+        sparse.set_train(60, vec![7]);
+        let bytes = encode_raster(&sparse).unwrap();
+        assert_eq!(bytes[8], MODE_SPARSE);
+        assert_eq!(decode_raster(&bytes).unwrap(), sparse);
+
+        // Fully active: the bitmap is smaller.
+        let mut dense = SpikeRaster::new(64, 96);
+        for n in 0..64 {
+            dense.set_train(n, (0..96).collect());
+        }
+        let bytes = encode_raster(&dense).unwrap();
+        assert_eq!(bytes[8], MODE_DENSE);
+        assert_eq!(decode_raster(&bytes).unwrap(), dense);
+    }
+
+    #[test]
+    fn spike_times_use_the_narrowest_width() {
+        let mut r = SpikeRaster::new(2, 96);
+        r.set_train(0, vec![0, 95]);
+        // 8 header + 1 mode + 4 active + 4 idx + 4 len + 2 x 1-byte times.
+        assert_eq!(encode_raster(&r).unwrap().len(), 23);
+        let mut wide = SpikeRaster::new(2, 70_000);
+        wide.set_train(0, vec![0, 69_999]);
+        // Same but 2 x 4-byte times.
+        assert_eq!(encode_raster(&wide).unwrap().len(), 29);
+        assert_eq!(decode_raster(&encode_raster(&wide).unwrap()).unwrap(), wide);
+    }
+
+    #[test]
+    fn decoder_rejects_denormalised_trains() {
+        let mut r = SpikeRaster::new(4, 96);
+        r.set_train(2, vec![5, 6]);
+        let good = encode_raster(&r).unwrap();
+        decode_raster(&good).unwrap();
+
+        // Duplicate / descending times (bytes 21,22 are the two times).
+        let mut dup = good.clone();
+        dup[22] = dup[21];
+        assert!(matches!(
+            decode_raster(&dup),
+            Err(WireError::InvalidPayload(_))
+        ));
+        // Out-of-window time.
+        let mut oow = good.clone();
+        oow[22] = 200;
+        assert!(matches!(
+            decode_raster(&oow),
+            Err(WireError::InvalidPayload(_))
+        ));
+        // Out-of-range neuron index.
+        let mut idx = good.clone();
+        idx[13] = 9;
+        assert!(matches!(
+            decode_raster(&idx),
+            Err(WireError::InvalidPayload(_))
+        ));
+        // Unknown mode byte.
+        let mut mode = good;
+        mode[8] = 7;
+        assert!(matches!(
+            decode_raster(&mode),
+            Err(WireError::UnknownTag { tag: 7 })
+        ));
+    }
+
+    #[test]
+    fn hostile_dimensions_are_capped() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // num_neurons far above the cap
+        w.put_u32(8);
+        w.put_u8(MODE_SPARSE);
+        w.put_u32(0);
+        assert!(matches!(
+            decode_raster(w.as_slice()),
+            Err(WireError::InvalidPayload(_))
+        ));
+
+        // A hostile sparse count cannot trigger a large allocation.
+        let mut w = ByteWriter::new();
+        w.put_u32(8);
+        w.put_u32(8);
+        w.put_u8(MODE_SPARSE);
+        w.put_u32(u32::MAX);
+        assert!(matches!(
+            decode_raster(w.as_slice()),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_padding_bits_must_be_zero() {
+        let r = SpikeRaster::new(1, 3); // empty => dense (0 < 4 bytes)
+        let mut bytes = encode_raster(&r).unwrap();
+        assert_eq!(bytes[8], MODE_DENSE);
+        assert_eq!(bytes.len(), 10);
+        bytes[9] = 0b1000; // bit 3 is padding (only bits 0..3 are real)
+        assert!(matches!(
+            decode_raster(&bytes),
+            Err(WireError::InvalidPayload(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_rasters_are_typed_errors() {
+        let mut r = SpikeRaster::new(16, 96);
+        r.set_train(0, vec![1, 2, 3]);
+        r.set_train(9, vec![90]);
+        let bytes = encode_raster(&r).unwrap();
+        for cut in 0..bytes.len() {
+            match decode_raster(&bytes[..cut]) {
+                Err(WireError::Truncated { .. }) => {}
+                other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+}

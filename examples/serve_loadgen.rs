@@ -10,6 +10,7 @@
 //! cargo run --release --example serve_loadgen
 //! cargo run --release --example serve_loadgen -- --clients 8 --requests 32
 //! cargo run --release --example serve_loadgen -- --smoke   # tiny CI run
+//! cargo run --release --example serve_loadgen -- --binary  # binary wire + model file
 //! NRSNN_THREADS=4 cargo run --release --example serve_loadgen
 //! ```
 
@@ -25,6 +26,7 @@ struct Options {
     clients: usize,
     requests_per_client: usize,
     smoke: bool,
+    binary: bool,
 }
 
 fn parse_options() -> Options {
@@ -32,6 +34,7 @@ fn parse_options() -> Options {
         clients: 4,
         requests_per_client: 32,
         smoke: false,
+        binary: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,9 +52,10 @@ fn parse_options() -> Options {
                     .expect("--requests needs a positive integer");
             }
             "--smoke" => options.smoke = true,
+            "--binary" => options.binary = true,
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: serve_loadgen [--clients N] [--requests M] [--smoke]");
+                eprintln!("usage: serve_loadgen [--clients N] [--requests M] [--smoke] [--binary]");
                 std::process::exit(2);
             }
         }
@@ -91,10 +95,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         robust.scaling.factor(),
         MASTER_SEED,
     );
-    let model_path = std::env::temp_dir().join("nrsnn_serve_loadgen_model.json");
-    std::fs::write(&model_path, spec.to_json())?;
+    // `--binary` exercises the compact `NRSM` model format; the registry
+    // sniffs the format from the file's first byte either way.
+    let model_path = std::env::temp_dir().join(if options.binary {
+        "nrsnn_serve_loadgen_model.nrsm"
+    } else {
+        "nrsnn_serve_loadgen_model.json"
+    });
+    if options.binary {
+        std::fs::write(&model_path, spec.to_binary()?)?;
+    } else {
+        std::fs::write(&model_path, spec.to_json())?;
+    }
     println!(
-        "exported model file: {} ({} bytes)",
+        "exported {} model file: {} ({} bytes)",
+        if options.binary { "binary" } else { "JSON" },
         model_path.display(),
         std::fs::metadata(&model_path)?.len()
     );
@@ -112,7 +127,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
     let addr = server.serve_tcp(("127.0.0.1", 0))?;
-    println!("serving {MODEL:?} on {addr} ...");
+    println!(
+        "serving {MODEL:?} on {addr} ({} wire) ...",
+        if options.binary { "binary" } else { "JSON" }
+    );
 
     // 4. Drive it with N concurrent TCP clients.
     let test_inputs = &pipeline.dataset().test.inputs;
@@ -127,8 +145,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     test_inputs.row_slice(index % rows).expect("row").to_vec()
                 })
                 .collect();
+            let binary = options.binary;
             std::thread::spawn(move || {
-                let mut client = TcpClient::connect(addr).expect("connect");
+                let mut client = if binary {
+                    TcpClient::connect_binary(addr).expect("connect")
+                } else {
+                    TcpClient::connect(addr).expect("connect")
+                };
                 let mut answered = 0usize;
                 for (r, input) in inputs.iter().enumerate() {
                     let seed = (client_index * 1_000 + r) as u64;
@@ -148,7 +171,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(answered, total, "every request must receive a response");
 
     // 5. Report.
-    let mut probe = TcpClient::connect(addr)?;
+    let mut probe = if options.binary {
+        TcpClient::connect_binary(addr)?
+    } else {
+        TcpClient::connect(addr)?
+    };
     let stats = probe.stats()?;
     println!("\n==== serve_loadgen report ====");
     println!(

@@ -5,8 +5,9 @@
 //!
 //! The served model is a *trained* converted SNN (tiny MNIST-like MLP →
 //! TTAS(5) + weight scaling under 50 % deletion — the paper's proposed
-//! configuration), registered through the serialized `ModelSpec`/
-//! `NetworkWeights` JSON path a deployment would use.
+//! configuration), registered through the on-disk binary (`NRSM`) model
+//! file path a deployment would use, and driven by a mix of JSON and
+//! binary-framing TCP clients on the same port.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -83,7 +84,6 @@ fn offline_reference(f: &Fixture, input: &[f32], seed: u64) -> (usize, Vec<u32>)
 fn tcp_server_serves_64_concurrent_requests_bit_identically() {
     let f = Arc::new(fixture());
 
-    // Register through the serialized model path (JSON round-trip included).
     let spec = ModelSpec::from_network(
         MODEL,
         &f.network,
@@ -93,8 +93,21 @@ fn tcp_server_serves_64_concurrent_requests_bit_identically() {
         2.0,
         MASTER_SEED,
     );
+    // Register through the on-disk **binary** model path (write → sniff →
+    // decode → build), and check it agrees with the JSON path bit-for-bit
+    // at the spec level.
+    let binary_bytes = spec.to_binary().expect("encode binary model");
+    let reloaded = ModelSpec::from_binary(&binary_bytes).expect("decode binary model");
+    assert_eq!(
+        reloaded.to_json(),
+        spec.to_json(),
+        "binary model round-trip"
+    );
+    let model_path = std::env::temp_dir().join("nrsnn_serve_e2e_model.nrsm");
+    std::fs::write(&model_path, &binary_bytes).expect("write model file");
     let mut registry = ModelRegistry::new();
-    registry.load_json(&spec.to_json()).expect("load model");
+    registry.load_file(&model_path).expect("load model");
+    std::fs::remove_file(&model_path).ok();
 
     let mut server = Server::start(
         registry,
@@ -112,12 +125,17 @@ fn tcp_server_serves_64_concurrent_requests_bit_identically() {
     assert_ne!(addr.port(), 0);
 
     // >= 4 concurrent TCP clients, each issuing its share of the >= 64
-    // requests over one connection.
+    // requests over one connection.  Half speak JSON, half speak the binary
+    // framing: the formats negotiate per connection and must interleave.
     let clients: Vec<_> = (0..CLIENTS)
         .map(|client_index| {
             let f = Arc::clone(&f);
             std::thread::spawn(move || {
-                let mut client = TcpClient::connect(addr).expect("connect");
+                let mut client = if client_index % 2 == 0 {
+                    TcpClient::connect(addr).expect("connect")
+                } else {
+                    TcpClient::connect_binary(addr).expect("connect binary")
+                };
                 client.ping().expect("ping");
                 (0..REQUESTS_PER_CLIENT)
                     .map(|r| {
