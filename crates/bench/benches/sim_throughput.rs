@@ -1,12 +1,17 @@
 //! Simulation-engine throughput: allocating reference path vs the
 //! allocation-free workspace path, on the Fig. 7 deletion-sweep workload
 //! (CIFAR-10-like pipeline, TTAS(5) with weight scaling under 50 % spike
-//! deletion).
+//! deletion) — plus the per-ISA SIMD backend comparison on the
+//! kernel-bound clean MLP workload.
 //!
 //! Both paths simulate the same samples with the same per-sample derived
 //! seeds and are asserted to produce identical predictions and spike counts
 //! before any timing happens — the workspace path buys throughput, never
-//! different results.
+//! different results.  The SIMD section applies the same discipline along
+//! the instruction-set axis: every available backend (scalar / SSE2 /
+//! AVX2) must produce **byte-equal logits** for every sample before it is
+//! timed, and on AVX2 hosts the dense rate/phase workloads must clear a
+//! 1.5x end-to-end speedup floor over the forced-scalar kernels.
 //!
 //! ```text
 //! cargo bench -p nrsnn-bench --bench sim_throughput
@@ -16,13 +21,17 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nrsnn::prelude::*;
-use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, record_bench_summary};
+use nrsnn_bench::{bench_sweep_config, cifar10_pipeline, mnist_pipeline, record_bench_summary};
 use nrsnn_runtime::derive_seed;
+use nrsnn_tensor::simd::{available_backends, set_backend, SimdBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const SAMPLES: usize = 24;
 const SEED: u64 = 2021;
+/// Minimum wall-clock per timed (coding x backend) side of the SIMD
+/// comparison, so fast backends still accumulate a stable measurement.
+const SIMD_MIN_TIME_S: f64 = 0.4;
 
 struct Workload {
     network: SnnNetwork,
@@ -131,9 +140,195 @@ fn throughput_report(w: &Workload) {
     );
 }
 
+/// Per-ISA throughput of the SIMD dispatch on the rate/phase dense-path
+/// workload: the MNIST-like MLP (784->256->128->10, pure `matvec`) under
+/// the clean condition (`p = 0`, so decode feeds the layers dense
+/// activation vectors and the dense kernel branch runs every layer).
+///
+/// Two measurements per backend, both behind byte-equality gates:
+///
+/// 1. **End-to-end simulation** (encode + decode + kernels + everything):
+///    the scalar backend is simulated first as the reference, and every
+///    other backend must reproduce its logits byte-for-byte on all
+///    samples before it is timed.  Recorded without a floor — spike-train
+///    encoding is deliberately backend-independent scalar work (one
+///    integer division per emitted spike), so Amdahl caps what the
+///    kernels can show through here.
+/// 2. **Dense kernel pass** ([`SnnNetwork::analog_forward`], the exact
+///    matvec sequence the dense branch runs per layer, on the converted
+///    weights): gated to >= 1.5x AVX2-over-scalar — this is the part the
+///    dispatch machinery exists for, and a floor here fails loudly if a
+///    future refactor quietly routes the hot path back through portable
+///    code.
+fn simd_throughput_report() {
+    let pipeline = mnist_pipeline();
+    let time_steps = bench_sweep_config().time_steps;
+    let scaling = WeightScaling::for_deletion_probability(0.0).expect("ws");
+    let noise = DeletionNoise::new(0.0).expect("noise");
+    let isas = available_backends();
+    let previous = nrsnn_tensor::simd::active_backend();
+    let network = pipeline
+        .to_snn(&scaling)
+        .expect("convert")
+        .with_sparsity(SparsityPolicy::Dense);
+    let inputs = &pipeline.dataset().test.inputs;
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    println!("\n==== SIMD backend throughput (MLP dense path, clean, per ISA) ====");
+    println!(
+        "{:<16}{:<10}{:>14}{:>12}",
+        "workload", "backend", "samples/s", "speedup"
+    );
+    for kind in [CodingKind::Rate, CodingKind::Phase] {
+        let coding = kind.build();
+        let cfg = pipeline.coding_config(kind, time_steps);
+        let mut ws = SimWorkspace::for_network(&network, &cfg);
+
+        // Byte-equality gate: one logits digest per sample, per backend.
+        let digest = |ws: &mut SimWorkspace| -> Vec<Vec<u32>> {
+            let mut seen = Vec::new();
+            network
+                .simulate_batch_each(
+                    inputs,
+                    0..SAMPLES,
+                    coding.as_ref(),
+                    &cfg,
+                    &noise,
+                    |sample| StdRng::seed_from_u64(derive_seed(SEED, sample as u64)),
+                    ws,
+                    |_, _, ws| seen.push(ws.logits().iter().map(|v| v.to_bits()).collect()),
+                )
+                .expect("simd equality gate");
+            seen
+        };
+        assert_eq!(set_backend(SimdBackend::Scalar), SimdBackend::Scalar);
+        let reference = digest(&mut ws);
+
+        let mut rates: Vec<(SimdBackend, f64)> = Vec::new();
+        for &isa in &isas {
+            assert_eq!(set_backend(isa), isa, "requested backend must stick");
+            assert_eq!(
+                digest(&mut ws),
+                reference,
+                "{}: {} logits diverged from the scalar reference",
+                kind.label(),
+                isa.name()
+            );
+            let mut out = Vec::new();
+            let start = Instant::now();
+            let mut rounds = 0usize;
+            while start.elapsed().as_secs_f64() < SIMD_MIN_TIME_S {
+                network
+                    .simulate_batch(
+                        inputs,
+                        0..SAMPLES,
+                        coding.as_ref(),
+                        &cfg,
+                        &noise,
+                        |sample| StdRng::seed_from_u64(derive_seed(SEED, sample as u64)),
+                        &mut ws,
+                        &mut out,
+                    )
+                    .expect("simd timing run");
+                black_box(&out);
+                rounds += 1;
+            }
+            let rate = (rounds * SAMPLES) as f64 / start.elapsed().as_secs_f64();
+            rates.push((isa, rate));
+        }
+
+        let label = kind.label().to_lowercase();
+        let scalar_rate = rates[0].1;
+        for &(isa, rate) in &rates {
+            let speedup = rate / scalar_rate;
+            println!(
+                "{:<16}{:<10}{:>14.1}{:>11.2}x",
+                format!("{label} e2e"),
+                isa.name(),
+                rate,
+                speedup
+            );
+            entries.push((format!("{label}_{}_samples_per_s", isa.name()), rate));
+            if isa != SimdBackend::Scalar {
+                entries.push((format!("{label}_{}_speedup_vs_scalar", isa.name()), speedup));
+            }
+        }
+    }
+
+    // Dense kernel pass: the per-layer matvec sequence both codings run on
+    // their dense branch, timed in isolation on the same samples.
+    let forward_digest = || -> Vec<Vec<u32>> {
+        (0..SAMPLES)
+            .map(|sample| {
+                let row = inputs.row(sample).expect("row");
+                network
+                    .analog_forward(row.as_slice())
+                    .expect("analog forward")
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect()
+    };
+    assert_eq!(set_backend(SimdBackend::Scalar), SimdBackend::Scalar);
+    let forward_reference = forward_digest();
+    let mut kernel_rates: Vec<(SimdBackend, f64)> = Vec::new();
+    for &isa in &isas {
+        assert_eq!(set_backend(isa), isa, "requested backend must stick");
+        assert_eq!(
+            forward_digest(),
+            forward_reference,
+            "{} dense forward diverged from the scalar reference",
+            isa.name()
+        );
+        let start = Instant::now();
+        let mut rounds = 0usize;
+        while start.elapsed().as_secs_f64() < SIMD_MIN_TIME_S {
+            for sample in 0..SAMPLES {
+                let row = inputs.row(sample).expect("row");
+                black_box(network.analog_forward(row.as_slice()).expect("timing"));
+            }
+            rounds += 1;
+        }
+        kernel_rates.push((
+            isa,
+            (rounds * SAMPLES) as f64 / start.elapsed().as_secs_f64(),
+        ));
+    }
+    let kernel_scalar = kernel_rates[0].1;
+    for &(isa, rate) in &kernel_rates {
+        let speedup = rate / kernel_scalar;
+        println!(
+            "{:<16}{:<10}{:>14.1}{:>11.2}x",
+            "dense forward",
+            isa.name(),
+            rate,
+            speedup
+        );
+        entries.push((format!("dense_forward_{}_samples_per_s", isa.name()), rate));
+        if isa != SimdBackend::Scalar {
+            entries.push((
+                format!("dense_forward_{}_speedup_vs_scalar", isa.name()),
+                speedup,
+            ));
+        }
+        if isa == SimdBackend::Avx2 {
+            assert!(
+                speedup >= 1.5,
+                "dense forward: AVX2 speedup {speedup:.2}x is below the 1.5x floor"
+            );
+        }
+    }
+    assert_eq!(set_backend(previous), previous);
+
+    let borrowed: Vec<(&str, f64)> = entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    record_bench_summary("simd_throughput", &borrowed);
+}
+
 fn bench(c: &mut Criterion) {
     let w = workload();
     throughput_report(&w);
+    simd_throughput_report();
 
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(10);

@@ -8,6 +8,15 @@ pub const DEFAULT_BATCH_SIZE: usize = 8;
 
 /// Environment variable consulted by [`ParallelConfig::auto`] (and any other
 /// configuration with `threads = 0`) to fix the worker count.
+///
+/// Its sibling knob is `NRSNN_SIMD` (`nrsnn_tensor::simd::SIMD_ENV_VAR`),
+/// which selects the kernel backend the same way this variable selects
+/// parallelism; neither setting can change a single result bit, only
+/// throughput. They differ in one deliberate way: an unparsable
+/// `NRSNN_THREADS` falls through to hardware detection (a thread count is a
+/// tuning hint), while an unknown `NRSNN_SIMD` value is a typed error (a
+/// backend name is an enumerated contract, and a typo silently running
+/// scalar would be a 2x performance bug nobody notices).
 pub const THREADS_ENV_VAR: &str = "NRSNN_THREADS";
 
 /// How a parallel map distributes its tasks.

@@ -77,10 +77,18 @@ impl Server {
     ///
     /// # Errors
     /// Returns [`ServeError::Model`] for an empty registry,
-    /// [`ServeError::InvalidRequest`] for an invalid configuration and
-    /// [`ServeError::Io`] if worker threads cannot be spawned.
+    /// [`ServeError::InvalidRequest`] for an invalid configuration
+    /// (including an unknown `NRSNN_SIMD` backend override in the
+    /// environment — validated eagerly here so a typo surfaces as a typed
+    /// startup error instead of a panic in the first worker to touch a
+    /// kernel) and [`ServeError::Io`] if worker threads cannot be spawned.
     pub fn start(registry: ModelRegistry, config: ServerConfig) -> Result<Server> {
         config.validate()?;
+        // Resolve the SIMD backend once, up front: workers then inherit the
+        // cached dispatch and can never hit the lazy-init panic path.
+        let backend = nrsnn_tensor::simd::resolve_env()
+            .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
+        nrsnn_tensor::simd::set_backend(backend);
         if registry.is_empty() {
             return Err(ServeError::Model(
                 "cannot start a server with no registered models".to_string(),

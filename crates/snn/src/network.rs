@@ -15,7 +15,7 @@
 //!
 //! The workspace path is additionally **sparsity-aware**: each layer decodes
 //! only the active (non-empty) spike trains and, under the default
-//! [`SparsityPolicy::Auto`], switches to gather kernels that touch only the
+//! [`SparsityPolicy::AutoTuned`], switches to gather kernels that touch only the
 //! nonzero decoded activations whenever the measured density drops below the
 //! policy threshold.  Because the skipped terms are all exact `w · 0.0`
 //! products, the sparse kernels are bit-identical to the dense ones — the
@@ -46,20 +46,27 @@ use crate::{
 /// terms of the form `w · 0.0`, which are bitwise no-ops on a bias-seeded
 /// accumulator — see `nrsnn_tensor::matvec_sparse_slices`), so the policy is
 /// purely a performance knob: it can never change a logit, a prediction or
-/// an RNG stream.  The default [`SparsityPolicy::Auto`] measures each
+/// an RNG stream.  The default [`SparsityPolicy::AutoTuned`] measures each
 /// layer's decoded-input density per sample and picks the sparse kernel
 /// below the threshold — which is what makes simulation speed a function of
 /// the neural coding: a TTFS raster whose trains were half-deleted decodes
 /// to a half-empty activation vector and pays for only the active half.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SparsityPolicy {
-    /// Per layer and per sample, use the sparse kernels when the measured
-    /// input density (`nonzero inputs / input width`) is at most
-    /// `max_density`, the dense kernels otherwise.
+    /// The default: per layer and per sample, use the sparse kernels when
+    /// the measured input density is at most the crossover calibrated for
+    /// the **currently active SIMD backend**
+    /// ([`SparsityPolicy::max_density_for`]).  The backend is queried at
+    /// decision time, so a policy built before an
+    /// `nrsnn_tensor::simd::set_backend` call still picks the right
+    /// kernel afterwards.
+    AutoTuned,
+    /// Like [`SparsityPolicy::AutoTuned`] with an explicit, fixed
+    /// crossover: use the sparse kernels when the measured input density
+    /// (`nonzero inputs / input width`) is at most `max_density`, the
+    /// dense kernels otherwise.
     Auto {
-        /// Density at or below which the sparse kernels win; the crossover
-        /// sits where the sparse gather loop beats the dense sequential
-        /// scan (measured by the `sparse_throughput` bench).
+        /// Density at or below which the sparse kernels are chosen.
         max_density: f32,
     },
     /// Always use the dense kernels (the pre-sparsity engine, and the
@@ -71,26 +78,48 @@ pub enum SparsityPolicy {
 }
 
 impl SparsityPolicy {
-    /// Default [`SparsityPolicy::Auto`] threshold.  At density `d` the
-    /// sparse matvec performs `d·n` gather multiply-adds against the dense
-    /// kernel's `n` sequential ones; gathers are slower per element, so the
-    /// measured crossover sits well above 1/2 — 0.75 keeps a safety margin
-    /// while still catching the half-empty rasters that spike deletion
-    /// leaves behind under temporal codings.
-    pub const DEFAULT_MAX_DENSITY: f32 = 0.75;
+    /// [`SparsityPolicy::AutoTuned`] crossover on the scalar backend.
+    ///
+    /// The sparse matvec performs `d·n` register multiply-adds per row
+    /// against the dense kernel's `n`, but the dense kernel's lane-blocked
+    /// loop auto-vectorises even when built for the "scalar" backend, so
+    /// the measured crossover (sparse_throughput bench, MNIST-like MLP)
+    /// sits near `d = 0.3`: 1.0x at d=0.30, ~1.4-1.8x at d=0.12, ~1.9x at
+    /// d=0.06.  (Before the dense kernels were vectorised this constant
+    /// was 0.75 — the crossover is a property of the dense engine's speed,
+    /// and re-measuring it after the SIMD rewrite moved it down.)
+    pub const SCALAR_MAX_DENSITY: f32 = 0.3;
 
-    /// The default policy: auto-selection at
-    /// [`SparsityPolicy::DEFAULT_MAX_DENSITY`].
-    pub fn auto() -> Self {
-        SparsityPolicy::Auto {
-            max_density: SparsityPolicy::DEFAULT_MAX_DENSITY,
+    /// [`SparsityPolicy::AutoTuned`] crossover on vector backends
+    /// (SSE2/AVX2), where the dense kernels are another 2-3x faster while
+    /// the sparse gather loop — deliberately scalar, see
+    /// `nrsnn_tensor::matvec_sparse_slices` — is not, pushing the
+    /// crossover down to roughly one active input in ten.
+    pub const VECTOR_MAX_DENSITY: f32 = 0.1;
+
+    /// The crossover density [`SparsityPolicy::AutoTuned`] applies on the
+    /// given SIMD backend.
+    pub fn max_density_for(backend: nrsnn_tensor::simd::SimdBackend) -> f32 {
+        if backend.is_vector() {
+            SparsityPolicy::VECTOR_MAX_DENSITY
+        } else {
+            SparsityPolicy::SCALAR_MAX_DENSITY
         }
+    }
+
+    /// The default policy: [`SparsityPolicy::AutoTuned`] auto-selection
+    /// with the crossover calibrated to the active SIMD backend.
+    pub fn auto() -> Self {
+        SparsityPolicy::AutoTuned
     }
 
     /// Whether a layer with the given measured input density should take
     /// the sparse kernels under this policy.
     fn use_sparse(&self, density: f32) -> bool {
         match self {
+            SparsityPolicy::AutoTuned => {
+                density <= SparsityPolicy::max_density_for(nrsnn_tensor::simd::active_backend())
+            }
             SparsityPolicy::Auto { max_density } => density <= *max_density,
             SparsityPolicy::Dense => false,
             SparsityPolicy::Sparse => true,

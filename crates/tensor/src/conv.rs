@@ -123,37 +123,15 @@ pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Vec<f32>) ->
 /// Raw kernel behind [`im2col`]: unrolls a flat `C·H·W` input into the
 /// caller-provided patch matrix buffer, overwriting it.
 ///
+/// Dispatches to the runtime-selected SIMD backend (see [`crate::simd`]):
+/// each kernel row of a patch becomes "zero-fill padding, bulk-copy the
+/// valid span, zero-fill padding", which is bitwise-identical on every
+/// backend by construction (it only moves and zeroes values).
+///
 /// # Panics
-/// Debug-asserts the slice lengths; callers validate shapes.
+/// Asserts the slice lengths before touching any data.
 pub fn im2col_slices(x: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
-    debug_assert_eq!(x.len(), geom.in_len());
-    debug_assert_eq!(out.len(), geom.out_positions() * geom.patch_len());
-    let (c, h, w) = (geom.in_channels, geom.in_height, geom.in_width);
-    let k = geom.kernel;
-    let (oh, ow) = (geom.out_height(), geom.out_width());
-    let mut row = 0usize;
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let base = row * geom.patch_len();
-            let mut idx = 0usize;
-            for ci in 0..c {
-                for ky in 0..k {
-                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                    for kx in 0..k {
-                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                        let v = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                            x[ci * h * w + iy as usize * w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        out[base + idx] = v;
-                        idx += 1;
-                    }
-                }
-            }
-            row += 1;
-        }
-    }
+    crate::simd::im2col_slices_with(crate::simd::active_backend(), x, geom, out);
 }
 
 /// Scatters a patch matrix of shape `(out_positions, patch_len)` back into a

@@ -38,6 +38,9 @@ pub enum TensorError {
     },
     /// A geometry parameter (kernel size, stride, padding) was invalid.
     InvalidGeometry(String),
+    /// The `NRSNN_SIMD` backend override held an unrecognised value (see
+    /// [`crate::simd::parse_override`]).
+    InvalidSimdOverride(String),
 }
 
 impl fmt::Display for TensorError {
@@ -59,6 +62,10 @@ impl fmt::Display for TensorError {
                 op,
             } => write!(f, "{op} expects rank {expected}, got rank {actual}"),
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::InvalidSimdOverride(value) => write!(
+                f,
+                "invalid NRSNN_SIMD value {value:?}: expected scalar, sse2, avx2 or auto"
+            ),
         }
     }
 }
@@ -87,6 +94,15 @@ mod tests {
         };
         assert!(err.to_string().contains("matmul"));
         assert!(err.to_string().contains("[2, 3]"));
+    }
+
+    #[test]
+    fn display_invalid_simd_override() {
+        let err = TensorError::InvalidSimdOverride("avx512".to_string());
+        let msg = err.to_string();
+        assert!(msg.contains("NRSNN_SIMD"));
+        assert!(msg.contains("avx512"));
+        assert!(msg.contains("scalar"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod error;
 mod init;
 mod linalg;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::{col2im, im2col, im2col_into, im2col_slices, Conv2dGeometry, Pool2dGeometry};

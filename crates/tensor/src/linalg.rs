@@ -10,50 +10,38 @@
 //!   reusing the caller's output `Vec` (cleared and resized, capacity kept);
 //! * the original allocating function (`matmul`, …), now a thin wrapper that
 //!   allocates a fresh output and delegates to the `_into` variant.
+//!
+//! Since the SIMD layer landed, every slice kernel delegates to the
+//! runtime-dispatched implementation in [`crate::simd`] on the process-wide
+//! [`crate::simd::active_backend`].  The reductions follow the canonical
+//! lane-blocked order documented there (ascending 8-wide column blocks,
+//! fixed lane tree, sequential tail), which is **the same bits on every
+//! backend** — scalar, SSE2 or AVX2.
 
+use crate::simd::{self, active_backend};
 use crate::{Result, Tensor, TensorError};
 
 /// Raw kernel behind [`matmul`]: multiplies `a (m x k)` by `b (k x n)` into
 /// `out (m x n)`, overwriting it.
 ///
+/// Runs in `ikj` order (vectorised over output columns, which preserves the
+/// per-element operation order exactly), skipping exact-zero entries of `a`
+/// — a bitwise no-op, see [`matmul_sparse_slices`].
+///
 /// # Panics
-/// Debug-asserts the slice lengths; callers validate shapes.
+/// Asserts the slice lengths before touching any data.
 pub fn matmul_slices(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for o in out.iter_mut() {
-        *o = 0.0;
-    }
-    // ikj loop order keeps the inner loop contiguous over `b` and `out`.
-    for i in 0..m {
-        for kk in 0..k {
-            let aik = a[i * k + kk];
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bkj;
-            }
-        }
-    }
+    simd::matmul_slices_with(active_backend(), a, m, k, b, n, out);
 }
 
 /// Raw kernel behind [`matvec`]: multiplies `a (m x n)` by `x (n)` into
-/// `out (m)`, overwriting it.
+/// `out (m)`, overwriting it, reducing each row in the canonical
+/// lane-blocked order (see [`crate::simd`]).
 ///
 /// # Panics
-/// Debug-asserts the slice lengths; callers validate shapes.
+/// Asserts the slice lengths before touching any data.
 pub fn matvec_slices(a: &[f32], m: usize, n: usize, x: &[f32], out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * n);
-    debug_assert_eq!(x.len(), n);
-    debug_assert_eq!(out.len(), m);
-    for i in 0..m {
-        let row = &a[i * n..(i + 1) * n];
-        out[i] = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
-    }
+    simd::matvec_slices_with(active_backend(), a, m, n, x, out);
 }
 
 /// Raw kernel behind [`transpose`]: writes the transpose of `a (m x n)` into
@@ -71,61 +59,36 @@ pub fn transpose_slices(a: &[f32], m: usize, n: usize, out: &mut [f32]) {
     }
 }
 
-/// Canonicalises a bias value into an accumulator seed: `b + 0.0` equals `b`
-/// for every finite `b` *except* `-0.0`, which becomes `+0.0`.
-///
-/// This is the signed-zero corner of the sparse kernels: an IEEE-754 add can
-/// only produce `-0.0` from two `-0.0` operands, so an accumulator seeded
-/// with a non-`-0.0` value can never become `-0.0` — and adding a skipped
-/// term `w · 0.0 ∈ {+0.0, -0.0}` to such an accumulator is always a bitwise
-/// no-op.  Seeding with a raw `-0.0` bias would break that: the dense kernel
-/// would flip it to `+0.0` on the first skipped `+0.0` term while the sparse
-/// kernel (which never adds the term) stayed at `-0.0`.  Both kernel
-/// families therefore seed through this function, which makes the sparse
-/// and dense results bit-identical for every input (given finite weights;
-/// an infinite or NaN weight would turn a skipped term into `NaN`).
-#[inline]
-fn seed_from_bias(b: f32) -> f32 {
-    b + 0.0
-}
-
 /// Dense sibling of [`matvec_sparse_slices`]: computes
-/// `out[i] = (bias[i] + 0.0) + Σ_j a[i,j]·x[j]` over **all** columns in
-/// ascending order, with the accumulator seeded from the bias (see
-/// `seed_from_bias` for why the seed is canonicalised).
+/// `out[i] = (bias[i] + 0.0) + Σ_j a[i,j]·x[j]` over **all** columns in the
+/// canonical lane-blocked order, with the bias canonicalised (`-0.0` becomes
+/// `+0.0` — the signed-zero corner of the sparse/dense bit-identity
+/// contract; see the `seed_from_bias` notes in [`crate::simd`]'s kernels)
+/// and added to the reduced sum.
 ///
 /// # Panics
-/// Debug-asserts the slice lengths; callers validate shapes.
+/// Asserts the slice lengths before touching any data.
 pub fn matvec_bias_slices(a: &[f32], m: usize, n: usize, x: &[f32], bias: &[f32], out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * n);
-    debug_assert_eq!(x.len(), n);
-    debug_assert_eq!(bias.len(), m);
-    debug_assert_eq!(out.len(), m);
-    for i in 0..m {
-        let row = &a[i * n..(i + 1) * n];
-        let mut acc = seed_from_bias(bias[i]);
-        for (&w, &v) in row.iter().zip(x) {
-            acc += w * v;
-        }
-        out[i] = acc;
-    }
+    simd::matvec_bias_slices_with(active_backend(), a, m, n, x, bias, out);
 }
 
 /// Sparsity-aware matrix–vector product: computes
-/// `out[i] = (bias[i] + 0.0) + Σ_{j ∈ active} a[i,j]·x[j]`, visiting only the
-/// `active` columns (ascending indices of the nonzero entries of `x`).
+/// `out[i] = (bias[i] + 0.0) + Σ_j a[i,j]·x[j]` while touching only the
+/// `active` columns, scatter-accumulating each product into its canonical
+/// lane `j % 8` (`active` must hold the **ascending** indices of the
+/// nonzero entries of `x`, without duplicates).
 ///
-/// Skipping a column `j` with `x[j] == 0.0` drops the term `a[i,j] · (±0.0)
-/// ∈ {+0.0, -0.0}` from the accumulator; because the accumulator is seeded
-/// through `seed_from_bias` it can never be `-0.0`, so every skipped term
-/// is a bitwise no-op and the result is **bit-identical** to
-/// [`matvec_bias_slices`] whenever `active` contains every `j` with
-/// `x[j] != 0.0` and the matrix is finite.  Cost is `O(m·|active|)` instead
-/// of `O(m·n)`.
+/// A skipped column contributes only terms `a[i,j] · (±0.0)` to lane
+/// accumulators seeded `+0.0`; an IEEE-754 add can only produce `-0.0` from
+/// two `-0.0` operands, so those lanes can never be `-0.0` and every
+/// skipped term is a bitwise no-op.  The result is therefore
+/// **bit-identical** to [`matvec_bias_slices`] whenever `active` contains
+/// every `j` with `x[j] != 0.0` and the matrix is finite.  Cost is
+/// `O(m·|active|)` instead of `O(m·n)`.
 ///
 /// # Panics
-/// Debug-asserts the slice lengths and that `active` indices are in range;
-/// callers validate shapes.
+/// Asserts the slice lengths and that `active` indices are in range before
+/// touching any data.
 pub fn matvec_sparse_slices(
     a: &[f32],
     m: usize,
@@ -135,49 +98,7 @@ pub fn matvec_sparse_slices(
     bias: &[f32],
     out: &mut [f32],
 ) {
-    debug_assert_eq!(a.len(), m * n);
-    debug_assert_eq!(x.len(), n);
-    debug_assert_eq!(bias.len(), m);
-    debug_assert_eq!(out.len(), m);
-    debug_assert!(active.iter().all(|&j| (j as usize) < n));
-    // Four rows per pass: the gathered `x[j]` loads amortise over four
-    // independent accumulators.  Each accumulator still receives its terms
-    // in ascending `j` order, so the blocking cannot change a single bit of
-    // any output element.
-    let mut i = 0;
-    while i + 4 <= m {
-        let (r0, rest) = a[i * n..].split_at(n);
-        let (r1, rest) = rest.split_at(n);
-        let (r2, rest) = rest.split_at(n);
-        let r3 = &rest[..n];
-        let mut acc0 = seed_from_bias(bias[i]);
-        let mut acc1 = seed_from_bias(bias[i + 1]);
-        let mut acc2 = seed_from_bias(bias[i + 2]);
-        let mut acc3 = seed_from_bias(bias[i + 3]);
-        for &j in active {
-            let j = j as usize;
-            let xv = x[j];
-            acc0 += r0[j] * xv;
-            acc1 += r1[j] * xv;
-            acc2 += r2[j] * xv;
-            acc3 += r3[j] * xv;
-        }
-        out[i] = acc0;
-        out[i + 1] = acc1;
-        out[i + 2] = acc2;
-        out[i + 3] = acc3;
-        i += 4;
-    }
-    while i < m {
-        let row = &a[i * n..(i + 1) * n];
-        let mut acc = seed_from_bias(bias[i]);
-        for &j in active {
-            let j = j as usize;
-            acc += row[j] * x[j];
-        }
-        out[i] = acc;
-        i += 1;
-    }
+    simd::matvec_sparse_slices_with(active_backend(), a, m, n, x, active, bias, out);
 }
 
 /// Sparsity-aware matrix product with a per-column bias: computes
@@ -185,14 +106,16 @@ pub fn matvec_sparse_slices(
 /// exact-zero `a[i,k]` entry, so cost is `O(nnz(a)·n + m·n)` instead of
 /// `O(m·k·n)`.
 ///
-/// The accumulators are seeded through `seed_from_bias`; skipped terms
-/// contribute `(±0.0)·b[k,j] ∈ {+0.0, -0.0}` and are therefore bitwise
-/// no-ops by the same argument as [`matvec_sparse_slices`] (given finite
-/// `b`).  An empty `bias` means "no bias" (all accumulators seed from
-/// `+0.0`).
+/// The accumulators are seeded from the canonicalised bias (`b_j + 0.0`);
+/// skipped terms contribute `(±0.0)·b[k,j] ∈ {+0.0, -0.0}` and are
+/// therefore bitwise no-ops by the same argument as
+/// [`matvec_sparse_slices`] (given finite `b`).  An empty `bias` means "no
+/// bias" (all accumulators seed from `+0.0`), in which case this is
+/// exactly [`matmul_slices`].
 ///
 /// # Panics
-/// Debug-asserts the slice lengths; callers validate shapes.
+/// Asserts the slice lengths before touching any data (the bias must have
+/// length `n`; use [`matmul_slices`] for the unbiased product).
 pub fn matmul_sparse_slices(
     a: &[f32],
     m: usize,
@@ -202,32 +125,10 @@ pub fn matmul_sparse_slices(
     bias: &[f32],
     out: &mut [f32],
 ) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    debug_assert!(bias.is_empty() || bias.len() == n);
-    for i in 0..m {
-        let out_row = &mut out[i * n..(i + 1) * n];
-        if bias.is_empty() {
-            for o in out_row.iter_mut() {
-                *o = 0.0;
-            }
-        } else {
-            for (o, &bj) in out_row.iter_mut().zip(bias) {
-                *o = seed_from_bias(bj);
-            }
-        }
-        // ikj loop order keeps the inner loop contiguous over `b` and `out`.
-        for kk in 0..k {
-            let aik = a[i * k + kk];
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bkj;
-            }
-        }
+    if bias.is_empty() {
+        simd::matmul_slices_with(active_backend(), a, m, k, b, n, out);
+    } else {
+        simd::matmul_sparse_slices_with(active_backend(), a, m, k, b, n, bias, out);
     }
 }
 

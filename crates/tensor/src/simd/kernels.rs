@@ -1,0 +1,390 @@
+//! Generic lane-blocked kernels, instantiated once per [`F32x8`] backend.
+//!
+//! Every kernel here defines the **canonical operation order** for the whole
+//! workspace: columns are consumed in ascending 8-wide blocks, each block's
+//! partial products live in eight independent lane accumulators, the lanes
+//! are combined with the fixed tree in [`super::vec::reduce8`], and the
+//! `n % 8` tail elements are added sequentially afterwards.  The scalar
+//! backend executes exactly this algorithm, so whichever ISA runs a kernel,
+//! the result bits are the same.
+//!
+//! # Safety
+//!
+//! All functions in this module are `unsafe`: they index through raw
+//! pointers and trust the slice-length / index-bounds contracts that the
+//! safe dispatch wrappers in [`super`] assert before calling in, and the
+//! x86 instantiations additionally require the matching CPU features
+//! (guaranteed by runtime dispatch).
+
+use super::vec::{reduce8, F32x8, BLOCK};
+
+/// Canonicalises a bias value used to seed an accumulator: `b + 0.0`
+/// flushes `-0.0` to `+0.0` and leaves every other value (including NaN
+/// payloads produced upstream) bitwise unchanged.
+///
+/// Seeding from `+0.0` rather than `-0.0` is what makes "skip the zero
+/// terms" a *bitwise* no-op on the sparse paths: under IEEE-754
+/// round-to-nearest, `acc + (w * ±0.0)` can only differ from `acc` when
+/// `acc` is `-0.0` and the product is `+0.0` (or vice versa), and a lane
+/// seeded `+0.0` can never become `-0.0` again (an IEEE add yields `-0.0`
+/// only when both operands are `-0.0`).
+#[inline(always)]
+pub(crate) fn seed_from_bias(b: f32) -> f32 {
+    b + 0.0
+}
+
+/// Dense mat-vec with optional bias seeding: `out[i] = seed(bias[i]) + Σ_j
+/// a[i][j]·x[j]` in the canonical lane-blocked order.  An empty `bias`
+/// means "no bias": `out[i]` is the plain dot product.
+///
+/// # Safety
+/// Requires `a.len() == m*n`, `x.len() == n`, `out.len() == m` and
+/// `bias.len() ∈ {0, m}`; the backend `V` must be runnable on this CPU.
+#[inline(always)]
+pub(crate) unsafe fn matvec_generic<V: F32x8>(
+    a: &[f32],
+    m: usize,
+    n: usize,
+    x: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(out.len(), m);
+    debug_assert!(bias.is_empty() || bias.len() == m);
+    let nb = n - (n % BLOCK);
+    let ap = a.as_ptr();
+    let xp = x.as_ptr();
+    let has_bias = !bias.is_empty();
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = unsafe { ap.add(i * n) };
+        let mut acc = unsafe { V::zero() };
+        let mut b = 0usize;
+        while b < nb {
+            let xv = unsafe { V::load(xp.add(b)) };
+            let rv = unsafe { V::load(row.add(b)) };
+            acc = unsafe { acc.add(rv.mul(xv)) };
+            b += BLOCK;
+        }
+        let mut s = unsafe { acc.reduce() };
+        for j in nb..n {
+            s += unsafe { *row.add(j) * *xp.add(j) };
+        }
+        *o = if has_bias {
+            seed_from_bias(bias[i]) + s
+        } else {
+            s
+        };
+    }
+}
+
+/// Groups the lane-blocked body of an `active` index list by lane
+/// (`j % 8`), preserving the ascending order inside each lane, and hands
+/// the grouped indices plus the 9 group boundaries to `f`.
+///
+/// A counting sort into a thread-local scratch buffer: the buffer grows to
+/// the largest `|active|` seen on this thread and is then reused, so the
+/// simulation hot path stays allocation-free in the steady state.
+fn with_lane_buckets<R>(body: &[u32], f: impl FnOnce(&[u32], &[usize; BLOCK + 1]) -> R) -> R {
+    thread_local! {
+        static BUCKETS: core::cell::RefCell<Vec<u32>> =
+            const { core::cell::RefCell::new(Vec::new()) };
+    }
+    BUCKETS.with(|cell| {
+        let mut buckets = cell.borrow_mut();
+        buckets.clear();
+        buckets.resize(body.len(), 0);
+        let mut counts = [0usize; BLOCK];
+        for &j in body {
+            counts[(j as usize) % BLOCK] += 1;
+        }
+        let mut starts = [0usize; BLOCK + 1];
+        for l in 0..BLOCK {
+            starts[l + 1] = starts[l] + counts[l];
+        }
+        let mut cursor = starts;
+        for &j in body {
+            let l = (j as usize) % BLOCK;
+            buckets[cursor[l]] = j;
+            cursor[l] += 1;
+        }
+        f(&buckets, &starts)
+    })
+}
+
+/// Sparse mat-vec: like [`matvec_generic`] with bias, but `O(m·|active|)` —
+/// each row touches only the active columns.  `active` must hold the
+/// ascending, duplicate-free indices of the nonzero entries of `x`.
+///
+/// The kernel is deliberately **scalar on every backend**.  A vector
+/// version would have to choose between processing whole 8-wide blocks
+/// (degrades to the dense kernel's cost once active columns are scattered —
+/// at density `d` a fraction `1-(1-d)^8` of blocks contain an active
+/// column) or compacting the active columns into vector lanes (changes the
+/// lane assignment, and with it the reduction order and the result bits).
+/// Instead the active body is grouped by lane once per call
+/// ([`with_lane_buckets`], amortised over all `m` rows), and each row runs
+/// one register-accumulator loop per lane — the same `O(|active|)`
+/// sequential multiply-adds as a plain compressed dot product, just split
+/// into eight sub-sequences that feed the canonical [`reduce8`] tree.
+///
+/// Bit-identity with the dense kernel: lane `l` receives exactly the dense
+/// kernel's ascending sub-sequence of column products `j ≡ l (mod 8)` with
+/// the zero terms skipped, and each skipped term is `w·(±0.0)` added to an
+/// accumulator that starts `+0.0` and can never become `-0.0` — a bitwise
+/// no-op by the argument on [`seed_from_bias`].  Tail columns (`j ≥ n-n%8`)
+/// are added sequentially after the reduction, exactly as in the dense
+/// kernel, again with only zero terms skipped.
+///
+/// # Safety
+/// Requires `a.len() == m*n`, `x.len() == n`, `bias.len() == m`,
+/// `out.len() == m`, and every index in `active` to be `< n`.  (`V` only
+/// fixes the dispatch signature; no vector instructions are issued.)
+#[inline(always)]
+pub(crate) unsafe fn matvec_sparse_generic<V: F32x8>(
+    a: &[f32],
+    m: usize,
+    n: usize,
+    x: &[f32],
+    active: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(bias.len(), m);
+    debug_assert_eq!(out.len(), m);
+    debug_assert!(active.windows(2).all(|w| w[0] < w[1]), "active not sorted");
+    let nb = n - (n % BLOCK);
+    // Ascending order => one split separates lane-blocked body columns
+    // from tail columns.
+    let body_len = active.partition_point(|&j| (j as usize) < nb);
+    let (body, tail) = active.split_at(body_len);
+    let ap = a.as_ptr();
+    let xp = x.as_ptr();
+    with_lane_buckets(body, |buckets, starts| {
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = unsafe { ap.add(i * n) };
+            let mut lanes = [0.0f32; BLOCK];
+            for l in 0..BLOCK {
+                let mut acc = 0.0f32;
+                for &ju in &buckets[starts[l]..starts[l + 1]] {
+                    let j = ju as usize;
+                    acc += unsafe { *row.add(j) * *xp.add(j) };
+                }
+                lanes[l] = acc;
+            }
+            let mut s = reduce8(lanes);
+            for &ju in tail {
+                let j = ju as usize;
+                s += unsafe { *row.add(j) * *xp.add(j) };
+            }
+            *o = seed_from_bias(bias[i]) + s;
+        }
+    });
+}
+
+/// Dense/sparse mat-mul: `out = seedrow(bias) .+ a·b` where `a` is `m×k`,
+/// `b` is `k×n` and `bias` (empty for "no bias") seeds every output row.
+///
+/// Vectorised over the output columns in axpy form (`out_block +=
+/// a[i][kk]·b_block`), which keeps the per-element operation order of the
+/// classic `ikj` scalar loop **exactly** — only the machine width changes —
+/// so this kernel is bit-for-bit the historical scalar matmul.  Terms with
+/// `a[i][kk] == 0.0` are skipped; this is a bitwise no-op because every
+/// accumulator starts from `+0.0` or a canonicalised bias and can never be
+/// `-0.0` (see [`seed_from_bias`]).
+///
+/// # Safety
+/// Requires `a.len() == m*k`, `b.len() == k*n`, `out.len() == m*n` and
+/// `bias.len() ∈ {0, n}`; the backend `V` must be runnable on this CPU.
+#[inline(always)]
+pub(crate) unsafe fn matmul_generic<V: F32x8>(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(bias.is_empty() || bias.len() == n);
+    let nb = n - (n % BLOCK);
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let has_bias = !bias.is_empty();
+    let biasp = bias.as_ptr();
+    for i in 0..m {
+        let orow = unsafe { out.as_mut_ptr().add(i * n) };
+        // Seed the output row: canonicalised bias (b_j + 0.0) or +0.0.
+        let mut j = 0usize;
+        while j < nb {
+            let seed = if has_bias {
+                unsafe { V::load(biasp.add(j)).add(V::zero()) }
+            } else {
+                unsafe { V::zero() }
+            };
+            unsafe { seed.store(orow.add(j)) };
+            j += BLOCK;
+        }
+        for j in nb..n {
+            unsafe {
+                *orow.add(j) = if has_bias {
+                    seed_from_bias(*biasp.add(j))
+                } else {
+                    0.0
+                }
+            };
+        }
+        for kk in 0..k {
+            let aik = unsafe { *ap.add(i * k + kk) };
+            if aik == 0.0 {
+                continue; // bitwise no-op: accumulators are never -0.0
+            }
+            let av = unsafe { V::splat(aik) };
+            let brow = unsafe { bp.add(kk * n) };
+            let mut j = 0usize;
+            while j < nb {
+                let ov = unsafe { V::load(orow.add(j)) };
+                let bv = unsafe { V::load(brow.add(j)) };
+                unsafe { ov.add(av.mul(bv)).store(orow.add(j)) };
+                j += BLOCK;
+            }
+            for j in nb..n {
+                unsafe { *orow.add(j) += aik * *brow.add(j) };
+            }
+        }
+    }
+}
+
+/// Sums `table[idx]` over every index in `idx`, in the canonical
+/// lane-blocked order: 8-wide gather blocks accumulate into lanes, the
+/// lanes reduce through the fixed tree, and the tail indices are added
+/// sequentially.  This is the vector form of [`super::sum8_by`] — the two
+/// must stay in lockstep.
+///
+/// # Safety
+/// Every `idx` value must be `< table.len()` and `table.len()` must fit in
+/// `i32` (the AVX2 gather treats indices as signed); the backend `V` must
+/// be runnable on this CPU.
+#[inline(always)]
+pub(crate) unsafe fn sum_gather_generic<V: F32x8>(table: &[f32], idx: &[u32]) -> f32 {
+    let n = idx.len();
+    let nb = n - (n % BLOCK);
+    let ip = idx.as_ptr();
+    let mut acc = unsafe { V::zero() };
+    let mut b = 0usize;
+    while b < nb {
+        let g = unsafe { V::gather(table, ip.add(b)) };
+        acc = unsafe { acc.add(g) };
+        b += BLOCK;
+    }
+    let mut s = unsafe { acc.reduce() };
+    for &t in &idx[nb..] {
+        s += table[t as usize];
+    }
+    s
+}
+
+/// Copies `len` elements from `src` to `dst` through the vector unit.
+///
+/// # Safety
+/// `src` and `dst` must be valid for `len` reads/writes and must not
+/// overlap.
+#[inline(always)]
+unsafe fn copy_span<V: F32x8>(src: *const f32, dst: *mut f32, len: usize) {
+    let nb = len - (len % BLOCK);
+    let mut i = 0usize;
+    while i < nb {
+        unsafe { V::load(src.add(i)).store(dst.add(i)) };
+        i += BLOCK;
+    }
+    while i < len {
+        unsafe { *dst.add(i) = *src.add(i) };
+        i += 1;
+    }
+}
+
+/// Writes `len` zeros (`+0.0`) starting at `dst`.
+///
+/// # Safety
+/// `dst` must be valid for `len` writes.
+#[inline(always)]
+unsafe fn zero_span<V: F32x8>(dst: *mut f32, len: usize) {
+    let nb = len - (len % BLOCK);
+    let mut i = 0usize;
+    while i < nb {
+        unsafe { V::zero().store(dst.add(i)) };
+        i += BLOCK;
+    }
+    while i < len {
+        unsafe { *dst.add(i) = 0.0 };
+        i += 1;
+    }
+}
+
+/// im2col patch unrolling, restructured from the historical per-element
+/// branchy loop into "zero-fill the padded prefix, bulk-copy the valid
+/// span, zero-fill the padded suffix" per kernel row.  Copies and
+/// zero-stores are trivially bitwise-identical across backends, so this
+/// kernel needs no reduction-order argument at all.
+///
+/// The geometry parameters are passed flat (rather than as
+/// [`crate::Conv2dGeometry`]) to keep this module independent of the
+/// higher-level conv types.
+///
+/// # Safety
+/// Requires `x.len() == c*h*w` and `out.len() == out_positions*patch_len`
+/// for the geometry implied by the parameters (kernel `k`, stride `s`,
+/// padding `p`, output `oh×ow`).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn im2col_generic<V: F32x8>(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    let patch_len = c * k * k;
+    debug_assert_eq!(x.len(), c * h * w);
+    debug_assert_eq!(out.len(), oh * ow * patch_len);
+    let xp = x.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut row = 0usize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = row * patch_len;
+            let ix0 = (ox * s) as isize - p as isize;
+            // kx positions with an in-bounds input column: lo..hi.
+            let lo = (-ix0).clamp(0, k as isize) as usize;
+            let hi = (w as isize - ix0).clamp(0, k as isize) as usize;
+            for ci in 0..c {
+                for ky in 0..k {
+                    let dst = unsafe { op.add(base + ci * k * k + ky * k) };
+                    let iy = (oy * s + ky) as isize - p as isize;
+                    if iy < 0 || iy as usize >= h {
+                        unsafe { zero_span::<V>(dst, k) };
+                        continue;
+                    }
+                    let src_row = unsafe { xp.add(ci * h * w + iy as usize * w) };
+                    unsafe {
+                        zero_span::<V>(dst, lo);
+                        copy_span::<V>(src_row.offset(ix0 + lo as isize), dst.add(lo), hi - lo);
+                        zero_span::<V>(dst.add(hi), k - hi);
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The fixed-width vector abstraction behind the SIMD kernels.
+//!
+//! Every backend models the **same abstract machine**: eight `f32` lanes,
+//! IEEE-754 single-precision multiply and add per lane (no FMA — a fused
+//! multiply-add rounds once instead of twice and would change bits), and a
+//! horizontal reduction that combines the lanes in one canonical tree:
+//!
+//! ```text
+//! reduce([l0..l7]) = ((l0+l4) + (l2+l6)) + ((l1+l5) + (l3+l7))
+//! ```
+//!
+//! The tree is exactly what falls out of the natural two-step narrowing on
+//! x86 — add the high 128-bit half onto the low half, then the high 64 bits
+//! onto the low 64, then lane 1 onto lane 0 — and the scalar backend
+//! replays it verbatim.  Because per-lane `mul`/`add` are correctly rounded
+//! IEEE operations on every backend and the reduction order is pinned, a
+//! generic kernel instantiated with any [`F32x8`] implementation produces
+//! **bit-identical** results to the scalar instantiation.
+
+/// Number of `f32` lanes in the abstract vector — fixed at 8 for every
+/// backend (AVX2 maps it to one `__m256`, SSE2 to two `__m128`s, the scalar
+/// backend to `[f32; 8]`), so the blocking and reduction order — and hence
+/// the result bits — never depend on which ISA runs the kernel.
+pub const BLOCK: usize = 8;
+
+/// Eight `f32` lanes with IEEE mul/add and the canonical reduction tree.
+///
+/// # Safety
+///
+/// All methods are `unsafe` for two reasons: pointer-based `load`/`store`/
+/// `gather` trust the caller for bounds, and the x86 implementations must
+/// only run on CPUs that support their ISA (guaranteed by the runtime
+/// dispatch in [`super::SimdBackend::resolve`]).
+pub(crate) trait F32x8: Copy {
+    /// All lanes `+0.0`.
+    unsafe fn zero() -> Self;
+    /// All lanes `v`.
+    unsafe fn splat(v: f32) -> Self;
+    /// Loads lanes `0..8` from `src` (unaligned).
+    unsafe fn load(src: *const f32) -> Self;
+    /// Stores lanes `0..8` to `dst` (unaligned).
+    unsafe fn store(self, dst: *mut f32);
+    /// Lane-wise IEEE single add.
+    unsafe fn add(self, rhs: Self) -> Self;
+    /// Lane-wise IEEE single multiply.
+    unsafe fn mul(self, rhs: Self) -> Self;
+    /// Lane `l` = `table[idx[l]]` for `idx[0..8]`; all indices must be in
+    /// bounds (no backend checks them).
+    unsafe fn gather(table: &[f32], idx: *const u32) -> Self;
+    /// Horizontal sum in the canonical fixed tree (see module docs).
+    unsafe fn reduce(self) -> f32;
+}
+
+/// Portable backend: eight plain `f32`s.  This is the *reference semantics*
+/// of the abstract machine — the SIMD backends are correct exactly when
+/// they match it bit for bit.
+#[derive(Clone, Copy)]
+pub(crate) struct ScalarV([f32; 8]);
+
+impl F32x8 for ScalarV {
+    #[inline(always)]
+    unsafe fn zero() -> Self {
+        ScalarV([0.0; 8])
+    }
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        ScalarV([v; 8])
+    }
+
+    #[inline(always)]
+    unsafe fn load(src: *const f32) -> Self {
+        let mut lanes = [0.0f32; 8];
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = unsafe { *src.add(l) };
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, dst: *mut f32) {
+        for (l, lane) in self.0.iter().enumerate() {
+            unsafe { *dst.add(l) = *lane };
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane += r;
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane *= r;
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn gather(table: &[f32], idx: *const u32) -> Self {
+        let mut lanes = [0.0f32; 8];
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            let i = unsafe { *idx.add(l) } as usize;
+            *lane = unsafe { *table.get_unchecked(i) };
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn reduce(self) -> f32 {
+        reduce8(self.0)
+    }
+}
+
+/// The canonical 8-lane reduction tree, spelled out once so the scalar
+/// backend, [`super::sum8_by`] and the documentation all share one
+/// definition.
+#[inline(always)]
+pub fn reduce8(l: [f32; 8]) -> f32 {
+    ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]))
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use x86::{Avx2V, Sse2V};
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::F32x8;
+    use std::arch::x86_64::{
+        __m128, __m128i, __m256, __m256i, _mm256_add_ps, _mm256_castps256_ps128,
+        _mm256_extractf128_ps, _mm256_i32gather_ps, _mm256_loadu_ps, _mm256_loadu_si256,
+        _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps, _mm_add_ps, _mm_add_ss,
+        _mm_cvtss_f32, _mm_loadu_ps, _mm_movehl_ps, _mm_mul_ps, _mm_set1_ps, _mm_set_ps,
+        _mm_setzero_ps, _mm_shuffle_ps, _mm_storeu_ps,
+    };
+
+    /// Narrows the two 128-bit halves of an 8-lane accumulator down to one
+    /// `f32` following the canonical tree: add the halves lane-wise, add the
+    /// high 64 bits onto the low 64, then lane 1 onto lane 0 — i.e.
+    /// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`, exactly [`super::reduce8`].
+    #[inline(always)]
+    unsafe fn reduce_halves(lo: __m128, hi: __m128) -> f32 {
+        unsafe {
+            // s = [l0+l4, l1+l5, l2+l6, l3+l7]
+            let s = _mm_add_ps(lo, hi);
+            // p = [s0+s2, s1+s3, _, _]
+            let p = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            // lane 0 of q = p1
+            let q = _mm_shuffle_ps::<0b01>(p, p);
+            _mm_cvtss_f32(_mm_add_ss(p, q))
+        }
+    }
+
+    /// SSE2 backend: the 8-lane machine as two `__m128` halves (lanes 0..4
+    /// and 4..8).  SSE2 is part of the x86_64 baseline, so this backend is
+    /// always available on that architecture.
+    #[derive(Clone, Copy)]
+    pub(crate) struct Sse2V(__m128, __m128);
+
+    impl F32x8 for Sse2V {
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            unsafe { Sse2V(_mm_setzero_ps(), _mm_setzero_ps()) }
+        }
+
+        #[inline(always)]
+        unsafe fn splat(v: f32) -> Self {
+            unsafe { Sse2V(_mm_set1_ps(v), _mm_set1_ps(v)) }
+        }
+
+        #[inline(always)]
+        unsafe fn load(src: *const f32) -> Self {
+            unsafe { Sse2V(_mm_loadu_ps(src), _mm_loadu_ps(src.add(4))) }
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, dst: *mut f32) {
+            unsafe {
+                _mm_storeu_ps(dst, self.0);
+                _mm_storeu_ps(dst.add(4), self.1);
+            }
+        }
+
+        #[inline(always)]
+        unsafe fn add(self, rhs: Self) -> Self {
+            unsafe { Sse2V(_mm_add_ps(self.0, rhs.0), _mm_add_ps(self.1, rhs.1)) }
+        }
+
+        #[inline(always)]
+        unsafe fn mul(self, rhs: Self) -> Self {
+            unsafe { Sse2V(_mm_mul_ps(self.0, rhs.0), _mm_mul_ps(self.1, rhs.1)) }
+        }
+
+        #[inline(always)]
+        unsafe fn gather(table: &[f32], idx: *const u32) -> Self {
+            // SSE2 has no gather instruction; eight scalar loads assembled
+            // into lanes are bit-identical to a hardware gather by
+            // construction.
+            let t = |l: usize| -> f32 {
+                let i = unsafe { *idx.add(l) } as usize;
+                unsafe { *table.get_unchecked(i) }
+            };
+            unsafe {
+                Sse2V(
+                    _mm_set_ps(t(3), t(2), t(1), t(0)),
+                    _mm_set_ps(t(7), t(6), t(5), t(4)),
+                )
+            }
+        }
+
+        #[inline(always)]
+        unsafe fn reduce(self) -> f32 {
+            unsafe { reduce_halves(self.0, self.1) }
+        }
+    }
+
+    /// AVX2 backend: the 8-lane machine as one `__m256`.  Uses plain
+    /// `vmulps`/`vaddps` (never FMA — fusing would round once instead of
+    /// twice and change bits) and `vgatherdps` for table lookups.
+    #[derive(Clone, Copy)]
+    pub(crate) struct Avx2V(__m256);
+
+    impl F32x8 for Avx2V {
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            unsafe { Avx2V(_mm256_setzero_ps()) }
+        }
+
+        #[inline(always)]
+        unsafe fn splat(v: f32) -> Self {
+            unsafe { Avx2V(_mm256_set1_ps(v)) }
+        }
+
+        #[inline(always)]
+        unsafe fn load(src: *const f32) -> Self {
+            unsafe { Avx2V(_mm256_loadu_ps(src)) }
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, dst: *mut f32) {
+            unsafe { _mm256_storeu_ps(dst, self.0) }
+        }
+
+        #[inline(always)]
+        unsafe fn add(self, rhs: Self) -> Self {
+            unsafe { Avx2V(_mm256_add_ps(self.0, rhs.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn mul(self, rhs: Self) -> Self {
+            unsafe { Avx2V(_mm256_mul_ps(self.0, rhs.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn gather(table: &[f32], idx: *const u32) -> Self {
+            // `vgatherdps` reads the indices as *signed* i32; the dispatch
+            // layer asserts `table.len() <= i32::MAX` so every valid index
+            // stays non-negative.
+            unsafe {
+                let vindex: __m256i = _mm256_loadu_si256(idx as *const __m256i);
+                Avx2V(_mm256_i32gather_ps::<4>(table.as_ptr(), vindex))
+            }
+        }
+
+        #[inline(always)]
+        unsafe fn reduce(self) -> f32 {
+            unsafe {
+                reduce_halves(
+                    _mm256_castps256_ps128(self.0),
+                    _mm256_extractf128_ps::<1>(self.0),
+                )
+            }
+        }
+    }
+
+    /// Compile-time guard: `__m128i` round-trips the raw index pointer used
+    /// by [`Avx2V::gather`]; keep the import anchored even if gather is
+    /// refactored.
+    const _: fn() = || {
+        let _ = std::mem::size_of::<__m128i>;
+    };
+}

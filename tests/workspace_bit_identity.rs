@@ -468,6 +468,146 @@ fn sparse_and_dense_kernels_are_byte_identical_across_the_matrix() {
     assert!(serial.iter().all(|digest| !digest.is_empty()));
 }
 
+/// Scalar-vs-SIMD matrix: 5 codings × {deletion, jitter, composite} ×
+/// batch sizes 1..=16 × {dense, sparse, auto} kernel policies × every ISA
+/// the host CPU supports.  For each ISA the three policies must agree byte
+/// for byte (outcomes + logit bits), and the per-ISA digests — logit bits
+/// plus a few draws from the post-simulation RNG, so stream divergence is
+/// caught too — must be identical to the scalar backend's digest.  This is
+/// the end-to-end half of the SIMD bit-identity contract; the kernel-level
+/// half lives in `crates/tensor/tests/simd_kernel_proptest.rs`.
+#[test]
+fn scalar_and_simd_backends_are_byte_identical_across_the_matrix() {
+    use nrsnn_tensor::simd::{available_backends, set_backend, SimdBackend};
+    use rand::Rng;
+
+    let base = matrix_network();
+    let inputs = matrix_inputs(16, 24);
+    let cfg = CodingConfig::new(48, 1.0);
+    let noise_names = ["deletion", "jitter", "composite"];
+    let build_noise = |name: &str| -> Box<dyn SpikeTransform> {
+        match name {
+            "deletion" => Box::new(DeletionNoise::new(0.5).unwrap()),
+            "jitter" => Box::new(JitterNoise::new(1.5).unwrap()),
+            "composite" => Box::new(
+                CompositeNoise::new()
+                    .then(DeletionNoise::new(0.3).unwrap())
+                    .then(JitterNoise::new(1.0).unwrap()),
+            ),
+            other => panic!("unknown noise {other}"),
+        }
+    };
+    let combos: Vec<(CodingKind, &str)> = all_codings()
+        .into_iter()
+        .flat_map(|kind| noise_names.iter().map(move |&n| (kind, n)))
+        .collect();
+
+    // Runs the whole (coding × noise × batch × policy) grid on the current
+    // backend; returns one digest per combo of every logit bit plus the
+    // RNG-stream probe.
+    let digest_all = |isa: SimdBackend| -> Vec<Vec<u32>> {
+        combos
+            .iter()
+            .map(|&(kind, noise_name)| {
+                let coding = kind.build();
+                let noise = build_noise(noise_name);
+                let policies = [
+                    ("dense", base.clone().with_sparsity(SparsityPolicy::Dense)),
+                    ("sparse", base.clone().with_sparsity(SparsityPolicy::Sparse)),
+                    ("auto", base.clone().with_sparsity(SparsityPolicy::auto())),
+                ];
+                let mut digest = Vec::new();
+                for batch in 1..=16usize {
+                    let seed = derive_seed(8192, batch as u64);
+                    let mut per_policy: Vec<Vec<(BatchOutcome, Vec<u32>)>> = Vec::new();
+                    for (policy_name, network) in &policies {
+                        let mut ws = SimWorkspace::new();
+                        let mut seen = Vec::new();
+                        network
+                            .simulate_batch_each(
+                                &inputs,
+                                0..batch,
+                                coding.as_ref(),
+                                &cfg,
+                                noise.as_ref(),
+                                |sample| StdRng::seed_from_u64(derive_seed(seed, sample as u64)),
+                                &mut ws,
+                                |_, outcome, ws| {
+                                    seen.push((
+                                        outcome,
+                                        ws.logits().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                                    ));
+                                },
+                            )
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "{isa:?} {} {noise_name} batch {batch} {policy_name}: {e}",
+                                    kind.label()
+                                )
+                            });
+                        per_policy.push(seen);
+                    }
+                    let (dense, rest) = per_policy.split_first().unwrap();
+                    for (results, (policy_name, _)) in rest.iter().zip(&policies[1..]) {
+                        assert_eq!(
+                            dense,
+                            results,
+                            "{isa:?}: {} under {noise_name}, batch {batch}: {policy_name} \
+                             diverged from dense",
+                            kind.label()
+                        );
+                    }
+                    digest.extend(
+                        per_policy[2]
+                            .iter()
+                            .flat_map(|(_, bits)| bits.iter().copied()),
+                    );
+                }
+                // RNG-stream probe: simulate one sample, then append a few
+                // draws — if any backend consumed a different number of
+                // random values, the cross-ISA digest comparison fails here.
+                let row = inputs.row_slice(0).unwrap();
+                let mut ws = SimWorkspace::new();
+                let mut rng = StdRng::seed_from_u64(derive_seed(99, 1));
+                policies[2]
+                    .1
+                    .simulate_with(
+                        row,
+                        coding.as_ref(),
+                        &cfg,
+                        noise.as_ref(),
+                        &mut rng,
+                        &mut ws,
+                    )
+                    .unwrap();
+                digest.extend((0..4).map(|_| rng.gen::<u32>()));
+                digest
+            })
+            .collect()
+    };
+
+    let isas = available_backends();
+    assert!(isas.contains(&SimdBackend::Scalar));
+    let previous = set_backend(SimdBackend::Scalar);
+    let reference = digest_all(SimdBackend::Scalar);
+    assert!(reference.iter().all(|digest| !digest.is_empty()));
+    for &isa in isas.iter().filter(|&&b| b != SimdBackend::Scalar) {
+        assert_eq!(set_backend(isa), isa, "requested ISA must run unresolved");
+        let digest = digest_all(isa);
+        for ((combo_digest, scalar_digest), &(kind, noise_name)) in
+            digest.iter().zip(&reference).zip(&combos)
+        {
+            assert_eq!(
+                combo_digest,
+                scalar_digest,
+                "{isa:?} digest diverged from scalar for {} under {noise_name}",
+                kind.label()
+            );
+        }
+    }
+    set_backend(previous);
+}
+
 /// Rebuilds a deletion sweep with a hand-rolled per-sample loop over the
 /// allocating reference simulator — exactly the seed engine's algorithm —
 /// and requires the production sweep to match it byte for byte at 1 and 4
