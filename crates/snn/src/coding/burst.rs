@@ -1,6 +1,14 @@
 //! Burst coding.
 
-use crate::{CodingConfig, CodingKind, NeuralCoding, Result, SnnError};
+use nrsnn_tensor::simd::{active_backend, encode_quant_with, quantize_value};
+
+use crate::coding::CodingScratch;
+use crate::{CodingConfig, CodingKind, NeuralCoding, Result, SnnError, SpikeRaster};
+
+/// Largest `max_spikes` the lane-blocked encode handles exactly (see the
+/// same constant in the rate coding); larger bursts — far beyond any
+/// realistic configuration — take the per-value path.
+const MAX_LANE_SPIKES: u32 = 1 << 24;
 
 /// Burst coding after Park et al. (DAC 2019): an activation is transmitted
 /// as a short burst of consecutive spikes, and the decoder uses the
@@ -84,10 +92,37 @@ impl NeuralCoding for BurstCoding {
 
     fn encode_into(&self, activation: f32, cfg: &CodingConfig, out: &mut Vec<u32>) {
         out.clear();
-        let v = cfg.clamp(activation) / cfg.threshold;
-        let n = (v * self.max_spikes as f32).round() as u32;
-        let n = n.min(self.max_spikes).min(cfg.time_steps);
-        out.extend(0..n);
+        let n = quantize_value(activation, cfg.threshold, self.max_spikes as f32) as u32;
+        out.extend(0..n.min(self.max_spikes).min(cfg.time_steps));
+    }
+
+    fn encode_raster_into(
+        &self,
+        values: &[f32],
+        cfg: &CodingConfig,
+        raster: &mut SpikeRaster,
+        scratch: &mut CodingScratch,
+    ) {
+        if self.max_spikes > MAX_LANE_SPIKES {
+            raster.fill_trains(values.len(), cfg.time_steps, |i, train| {
+                self.encode_into(values[i], cfg, train);
+            });
+            return;
+        }
+        scratch.lanes.clear();
+        scratch.lanes.resize(values.len(), 0.0);
+        encode_quant_with(
+            active_backend(),
+            values,
+            cfg.threshold,
+            self.max_spikes as f32,
+            &mut scratch.lanes,
+        );
+        let counts = &scratch.lanes;
+        let cap = self.max_spikes.min(cfg.time_steps);
+        raster.fill_trains_trusted(values.len(), cfg.time_steps, |i, train| {
+            train.extend(0..(counts[i] as u32).min(cap));
+        });
     }
 
     fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32 {

@@ -30,6 +30,48 @@ use serde::{Deserialize, Serialize};
 
 use crate::{CodingConfig, SpikeRaster};
 
+/// Reusable structure-of-arrays scratch for the lane-blocked encode paths.
+///
+/// The block encoders ([`NeuralCoding::encode_raster_into`]) split each
+/// coding into a vectorisable head — one scalar quantity per neuron,
+/// computed 8 lanes at a time — and a scalar tail that materialises the
+/// variable-length spike trains from those quantities.  This scratch owns
+/// the SoA buffers the head writes and the tail reads, so blocks touch
+/// contiguous memory and the simulation workspace stays allocation-free in
+/// steady state (the buffers grow to the widest layer seen and never
+/// shrink).
+#[derive(Debug, Clone, Default)]
+pub struct CodingScratch {
+    /// One f32 per neuron: quantised spike counts (rate/burst) or clamped
+    /// activation ratios (TTFS/TTAS).
+    pub(crate) lanes: Vec<f32>,
+    /// One phase-coding bit pattern per neuron (bit `k` = phase `k` fires).
+    pub(crate) bits: Vec<u64>,
+    /// Per-phase weights `2^-(k+1)` for the active phase period.
+    pub(crate) weights: Vec<f32>,
+    /// Per-phase firing thresholds `weights[k] - 1e-6`.
+    pub(crate) thresholds: Vec<f32>,
+    /// Precomputed canonical trains, concatenated: for a fixed window the
+    /// whole train is a function of the per-neuron scalar quantity alone
+    /// (rate: one train per spike count `0..=T`; phase: one per bit
+    /// pattern), so the scalar tail becomes a table lookup plus one
+    /// `extend_from_slice` per neuron.
+    pub(crate) train_table: Vec<u32>,
+    /// `train_offsets[q]..train_offsets[q+1]` bounds quantity `q`'s train
+    /// inside [`CodingScratch::train_table`].
+    pub(crate) train_offsets: Vec<u32>,
+    /// `(kind, time_steps, period)` the current table was built for; the
+    /// table is rebuilt lazily whenever the coding or window changes.
+    pub(crate) train_key: Option<(CodingKind, u32, u32)>,
+}
+
+impl CodingScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CodingScratch::default()
+    }
+}
+
 /// A neural coding: the pair of an encoder (activation → spike train) and a
 /// decoder (spike train → PSC sum ≈ activation).
 ///
@@ -57,6 +99,29 @@ pub trait NeuralCoding: Send + Sync {
     fn encode_into(&self, activation: f32, cfg: &CodingConfig, out: &mut Vec<u32>) {
         out.clear();
         out.extend_from_slice(&self.encode(activation, cfg));
+    }
+
+    /// Encodes a whole activation vector into `raster` (one train per
+    /// value) through the coding's lane-blocked block path.
+    ///
+    /// Must fill `raster` with exactly the trains
+    /// [`NeuralCoding::encode_into`] would produce per value — the block
+    /// path computes the per-neuron scalar quantities (spike counts, bit
+    /// patterns, clamped ratios) 8 lanes at a time into `scratch`, then
+    /// materialises the variable-length trains in a canonical scalar tail.
+    /// The default falls back to the per-value path, so custom codings
+    /// outside this crate keep working unchanged.
+    fn encode_raster_into(
+        &self,
+        values: &[f32],
+        cfg: &CodingConfig,
+        raster: &mut SpikeRaster,
+        scratch: &mut CodingScratch,
+    ) {
+        let _ = scratch;
+        raster.fill_trains(values.len(), cfg.time_steps, |i, train| {
+            self.encode_into(values[i], cfg, train);
+        });
     }
 
     /// Integrates a spike train through the coding's PSC kernel, recovering

@@ -1,6 +1,9 @@
 //! Time-to-first-spike (TTFS) coding.
 
-use crate::{CodingConfig, CodingKind, NeuralCoding};
+use nrsnn_tensor::simd::{active_backend, clamp_ratio, encode_ratio_with};
+
+use crate::coding::CodingScratch;
+use crate::{CodingConfig, CodingKind, NeuralCoding, SpikeRaster};
 
 /// TTFS coding after Park et al. ("T2FSNN", DAC 2020): a single spike whose
 /// *time* carries the value through an exponentially decaying PSC kernel,
@@ -31,12 +34,19 @@ impl TtfsCoding {
     /// The spike time encoding a value `v ∈ (0, θ]`, or `None` for values too
     /// small to be represented within the window.
     pub fn spike_time(value: f32, cfg: &CodingConfig) -> Option<u32> {
-        let v = cfg.clamp(value);
-        if v <= 0.0 {
+        TtfsCoding::spike_time_of_ratio(clamp_ratio(value, cfg.threshold), cfg)
+    }
+
+    /// [`TtfsCoding::spike_time`] from a precomputed clamped activation
+    /// ratio `min(max(v, 0), θ)/θ` — the quantity the lane-blocked encode
+    /// computes 8 neurons at a time; only the logarithm below stays
+    /// per-neuron scalar.
+    pub(crate) fn spike_time_of_ratio(ratio: f32, cfg: &CodingConfig) -> Option<u32> {
+        if ratio <= 0.0 {
             return None;
         }
         let tau = cfg.ttfs_tau();
-        let t = (-tau * (v / cfg.threshold).ln()).round();
+        let t = (-tau * ratio.ln()).round();
         if t >= cfg.time_steps as f32 {
             // Too small to represent: the spike would fall outside the window.
             return None;
@@ -72,11 +82,64 @@ impl NeuralCoding for TtfsCoding {
         }
     }
 
+    fn encode_raster_into(
+        &self,
+        values: &[f32],
+        cfg: &CodingConfig,
+        raster: &mut SpikeRaster,
+        scratch: &mut CodingScratch,
+    ) {
+        scratch.lanes.clear();
+        scratch.lanes.resize(values.len(), 0.0);
+        encode_ratio_with(active_backend(), values, cfg.threshold, &mut scratch.lanes);
+        let ratios = &scratch.lanes;
+        raster.fill_trains_trusted(values.len(), cfg.time_steps, |i, train| {
+            if let Some(t) = TtfsCoding::spike_time_of_ratio(ratios[i], cfg) {
+                train.push(t);
+            }
+        });
+    }
+
     fn decode(&self, train: &[u32], cfg: &CodingConfig) -> f32 {
         // Only the first spike carries information in TTFS.
         match train.first() {
             Some(&t) => TtfsCoding::value_at(t, cfg),
             None => 0.0,
+        }
+    }
+
+    fn decode_active_into(
+        &self,
+        raster: &SpikeRaster,
+        cfg: &CodingConfig,
+        out: &mut Vec<f32>,
+        active: &mut Vec<u32>,
+        scratch: &mut Vec<f32>,
+    ) {
+        out.clear();
+        active.clear();
+        // With more active trains than time steps it is cheaper to tabulate
+        // `value_at` once per step than to exp once per train; below that
+        // the per-train evaluation wins.  Both read the same expression, so
+        // the choice is invisible in the output bits.
+        let tabulate = raster.total_spikes() > raster.num_steps() as usize;
+        if tabulate {
+            scratch.clear();
+            scratch.extend((0..raster.num_steps()).map(|t| TtfsCoding::value_at(t, cfg)));
+        }
+        for (n, train) in raster.iter() {
+            let value = match train.first() {
+                Some(&t) if tabulate => scratch[t as usize],
+                Some(&t) => TtfsCoding::value_at(t, cfg),
+                None => {
+                    out.push(0.0);
+                    continue;
+                }
+            };
+            if value != 0.0 {
+                active.push(n as u32);
+            }
+            out.push(value);
         }
     }
 }

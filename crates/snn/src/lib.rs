@@ -51,7 +51,8 @@ mod spike;
 mod workspace;
 
 pub use coding::{
-    BurstCoding, CodingKind, NeuralCoding, PhaseCoding, RateCoding, TtasCoding, TtfsCoding,
+    BurstCoding, CodingKind, CodingScratch, NeuralCoding, PhaseCoding, RateCoding, TtasCoding,
+    TtfsCoding,
 };
 pub use config::CodingConfig;
 pub use conversion::{convert, ConversionConfig, ThresholdBalancer};

@@ -36,7 +36,8 @@ use rand::RngCore;
 
 use crate::workspace::ConvScratch;
 use crate::{
-    BatchOutcome, CodingConfig, NeuralCoding, Result, SimWorkspace, SnnError, SpikeRaster,
+    BatchOutcome, CodingConfig, CodingScratch, NeuralCoding, Result, SimWorkspace, SnnError,
+    SpikeRaster,
 };
 
 /// How the simulation engine chooses between the dense and the
@@ -833,7 +834,13 @@ impl SnnNetwork {
         ws.density_per_layer.clear();
         // Encode the input pixels as the first spike raster.  Pixels are in
         // [0, 1]; the coding clamps to its ceiling.
-        encode_vector_into(input, coding, cfg, &mut ws.rasters[0]);
+        encode_vector_into(
+            input,
+            coding,
+            cfg,
+            &mut ws.rasters[0],
+            &mut ws.encode_scratch,
+        );
         // Skipping an identity transform is exact: it would neither change
         // the raster nor consume randomness (see SpikeTransform::is_identity).
         let skip_noise = noise.is_identity();
@@ -857,22 +864,25 @@ impl SnnNetwork {
             // terms, so this is purely a speed decision.
             let density = received.density();
             ws.density_per_layer.push(density);
+            // Both branches decode through `decode_active_into` — its `out`
+            // is bit-identical to `decode_into` by contract, and codings
+            // with a tabulated PSC kernel (TTAS/TTFS/phase) amortise it
+            // there, which the dense branch profits from too.  The branch
+            // only decides which matrix kernels consume the activations.
+            let active = &mut ws.active[index];
+            coding.decode_active_into(
+                received,
+                cfg,
+                &mut ws.decoded,
+                active,
+                &mut ws.decode_scratch,
+            );
             if layer.has_weights() && self.sparsity.use_sparse(density) {
-                // Sparse branch: decode only active trains, collect the
-                // nonzero column set, and run the gather kernels over it.
-                let active = &mut ws.active[index];
-                coding.decode_active_into(
-                    received,
-                    cfg,
-                    &mut ws.decoded,
-                    active,
-                    &mut ws.decode_scratch,
-                );
+                // Sparse branch: the gather kernels restrict themselves to
+                // the nonzero column set collected during the decode.
                 layer.forward_sparse_into(&ws.decoded, active, &mut ws.conv, &mut ws.activation);
             } else {
-                // Dense branch: the pre-sparsity engine — decode every
-                // train, scan every column.
-                coding.decode_into(received, cfg, &mut ws.decoded);
+                // Dense branch: scan every column.
                 layer.forward_analog_into(&ws.decoded, &mut ws.conv, &mut ws.activation);
             }
             let is_last = index + 1 == num_layers;
@@ -880,7 +890,13 @@ impl SnnNetwork {
                 for v in &mut ws.activation {
                     *v = v.max(0.0);
                 }
-                encode_vector_into(&ws.activation, coding, cfg, &mut ws.rasters[index + 1]);
+                encode_vector_into(
+                    &ws.activation,
+                    coding,
+                    cfg,
+                    &mut ws.rasters[index + 1],
+                    &mut ws.encode_scratch,
+                );
             }
         }
 
@@ -968,16 +984,16 @@ fn encode_vector(values: &[f32], coding: &dyn NeuralCoding, cfg: &CodingConfig) 
 }
 
 /// Allocation-free sibling of [`encode_vector`]: refills `raster` in place
-/// (one train per value), producing the identical raster.
+/// through the coding's lane-blocked block path (8 neurons per SIMD block,
+/// SoA intermediates in `scratch`), producing the identical raster.
 fn encode_vector_into(
     values: &[f32],
     coding: &dyn NeuralCoding,
     cfg: &CodingConfig,
     raster: &mut SpikeRaster,
+    scratch: &mut CodingScratch,
 ) {
-    raster.fill_trains(values.len(), cfg.time_steps, |i, train| {
-        coding.encode_into(values[i], cfg, train);
-    });
+    coding.encode_raster_into(values, cfg, raster, scratch);
 }
 
 fn argmax(values: &[f32]) -> usize {

@@ -188,6 +188,29 @@ impl SpikeRaster {
         }
     }
 
+    /// [`SpikeRaster::fill_trains`] minus the per-train normalisation scan:
+    /// `f` **must** emit strictly increasing times below `num_steps`
+    /// (debug-asserted), which every lane-blocked encoder guarantees by
+    /// construction.  Skipping the scan matters because the encode tail is
+    /// pure train materialisation — re-validating what was just emitted in
+    /// order would cost a second pass over every spike.
+    pub(crate) fn fill_trains_trusted<F>(&mut self, num_neurons: usize, num_steps: u32, mut f: F)
+    where
+        F: FnMut(usize, &mut Vec<u32>),
+    {
+        self.num_steps = num_steps;
+        self.trains.resize_with(num_neurons, Vec::new);
+        for (i, train) in self.trains.iter_mut().enumerate() {
+            train.clear();
+            f(i, train);
+            debug_assert!(
+                !train.last().is_some_and(|&last| last >= num_steps)
+                    && train.windows(2).all(|w| w[0] < w[1]),
+                "fill_trains_trusted: neuron {i} emitted a non-canonical train"
+            );
+        }
+    }
+
     /// Mutates every train in place through `f` (in neuron order), then
     /// re-normalises each like [`SpikeRaster::set_train`] (clamp to the
     /// window, sort).  The allocation-free primitive behind in-place noise

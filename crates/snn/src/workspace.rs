@@ -47,7 +47,7 @@
 //! # }
 //! ```
 
-use crate::{CodingConfig, SnnLayer, SnnNetwork, SpikeRaster};
+use crate::{CodingConfig, CodingScratch, SnnLayer, SnnNetwork, SpikeRaster};
 
 /// Scratch buffers for the convolution forward pass (`im2col` patch matrix,
 /// transposed kernel bank, their product).
@@ -92,6 +92,11 @@ pub struct SimWorkspace {
     /// [`crate::NeuralCoding::decode_active_into`] (e.g. TTAS tabulates its
     /// PSC kernel in here once per raster instead of exp-ing per spike).
     pub(crate) decode_scratch: Vec<f32>,
+    /// Reusable SoA scratch handed to
+    /// [`crate::NeuralCoding::encode_raster_into`]: the lane-blocked
+    /// encoders compute per-neuron counts/ratios/bit patterns in here 8
+    /// lanes at a time before materialising the spike trains.
+    pub(crate) encode_scratch: CodingScratch,
     /// Measured input density (`active.len() / input_width`) of each layer
     /// in the most recent simulation — what the auto kernel selection
     /// compared against its threshold.
@@ -134,6 +139,8 @@ impl SimWorkspace {
         ws.decoded.reserve(max_width);
         ws.activation.reserve(max_width);
         ws.decode_scratch.reserve(cfg.time_steps as usize);
+        ws.encode_scratch.lanes.reserve(max_width);
+        ws.encode_scratch.bits.reserve(max_width);
         ws.spikes_per_layer.reserve(network.num_layers());
         ws.density_per_layer.reserve(network.num_layers());
         // One raster pair and one active-index buffer per layer, each sized

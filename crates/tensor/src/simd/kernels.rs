@@ -290,6 +290,176 @@ pub(crate) unsafe fn sum_gather_generic<V: F32x8>(table: &[f32], idx: &[u32]) ->
     s
 }
 
+/// Normalised clamp used by every coding's encode path: `out[i] =
+/// min(max(x[i], 0), θ) / θ` with the canonical x86 `max`/`min` semantics
+/// (see [`F32x8::max`]) — the lane-blocked twin of [`super::clamp_ratio`],
+/// which the `n % 8` tail calls so the two stay in lockstep.
+///
+/// Every operation is an elementwise, correctly rounded IEEE op with a
+/// pinned NaN/zero rule, so lanes and tail agree bit for bit on any
+/// backend: NaN activations flush to `+0.0` (`max(NaN, 0) = 0` under the
+/// canonical rule) and `-0.0` flushes to `+0.0` the same way.
+///
+/// # Safety
+/// Requires `out.len() == x.len()`; the backend `V` must be runnable on
+/// this CPU.
+#[inline(always)]
+pub(crate) unsafe fn encode_ratio_generic<V: F32x8>(x: &[f32], threshold: f32, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), x.len());
+    let n = x.len();
+    let nb = n - (n % BLOCK);
+    let xp = x.as_ptr();
+    let op = out.as_mut_ptr();
+    let zero = unsafe { V::zero() };
+    let theta = unsafe { V::splat(threshold) };
+    let mut i = 0usize;
+    while i < nb {
+        let v = unsafe { V::load(xp.add(i)) };
+        let r = unsafe { v.max(zero).min(theta).div(theta) };
+        unsafe { r.store(op.add(i)) };
+        i += BLOCK;
+    }
+    for j in nb..n {
+        unsafe { *op.add(j) = super::clamp_ratio(*xp.add(j), threshold) };
+    }
+}
+
+/// Quantising encode shared by the rate and burst codings: `out[i] =
+/// round_half_up(min(max(x[i], 0), θ) / θ · scale)` as an `f32` whole
+/// number — the lane-blocked twin of [`super::quantize_value`], which the
+/// tail calls.
+///
+/// Rounding is half-up (`trunc(y) + (y − trunc(y) ≥ 0.5 ? 1.0 : 0.0)`),
+/// which equals `f32::round` (half-away-from-zero) on the non-negative
+/// domain these encodes live in, and is exact: `y − trunc(y)` is computed
+/// without error for finite `y ≥ 0` (Sterbenz), so every component is a
+/// correctly rounded elementwise op and lanes match the tail bitwise.
+///
+/// # Safety
+/// Requires `out.len() == x.len()` and `0 ≤ scale ≤ 2^24` (the
+/// [`F32x8::trunc`] domain plus exact-integer headroom); the backend `V`
+/// must be runnable on this CPU.
+#[inline(always)]
+pub(crate) unsafe fn encode_quant_generic<V: F32x8>(
+    x: &[f32],
+    threshold: f32,
+    scale: f32,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), x.len());
+    debug_assert!((0.0..=16_777_216.0).contains(&scale));
+    let n = x.len();
+    let nb = n - (n % BLOCK);
+    let xp = x.as_ptr();
+    let op = out.as_mut_ptr();
+    let zero = unsafe { V::zero() };
+    let theta = unsafe { V::splat(threshold) };
+    let sc = unsafe { V::splat(scale) };
+    let half = unsafe { V::splat(0.5) };
+    let one = unsafe { V::splat(1.0) };
+    let mut i = 0usize;
+    while i < nb {
+        let v = unsafe { V::load(xp.add(i)) };
+        let y = unsafe { v.max(zero).min(theta).div(theta).mul(sc) };
+        let t = unsafe { y.trunc() };
+        let bump = unsafe { y.sub(t).cmp_ge(half).and(one) };
+        unsafe { t.add(bump).store(op.add(i)) };
+        i += BLOCK;
+    }
+    for j in nb..n {
+        unsafe { *op.add(j) = super::quantize_value(*xp.add(j), threshold, scale) };
+    }
+}
+
+/// Pure in-place rescale used by decode paths: `io[i] = io[i] · mul / div`
+/// — elementwise IEEE multiply then divide, trivially bit-identical across
+/// backends.  In place because the rate decode writes raw spike counts
+/// into the output buffer and rescales them where they sit.
+///
+/// # Safety
+/// The backend `V` must be runnable on this CPU.
+#[inline(always)]
+pub(crate) unsafe fn scale_ratio_generic<V: F32x8>(io: &mut [f32], mul: f32, div: f32) {
+    let n = io.len();
+    let nb = n - (n % BLOCK);
+    let p = io.as_mut_ptr();
+    let mv = unsafe { V::splat(mul) };
+    let dv = unsafe { V::splat(div) };
+    let mut i = 0usize;
+    while i < nb {
+        let v = unsafe { V::load(p.add(i)) };
+        unsafe { v.mul(mv).div(dv).store(p.add(i)) };
+        i += BLOCK;
+    }
+    for j in nb..n {
+        unsafe { *p.add(j) = *p.add(j) * mul / div };
+    }
+}
+
+/// Phase-coding bit patterns, 8 neurons per block: for each input the
+/// greedy binary expansion of `min(max(x, 0), θ)/θ` over the per-phase
+/// weights `w_k = 2^-(k+1)` — bit `k` of `out[i]` is set iff phase `k`
+/// fires in every period.  The lane-blocked twin of
+/// [`super::phase_bits_value`], which the tail calls.
+///
+/// Per weight the lanes run one ordered `rem ≥ thresholds[k]` compare, a
+/// masked subtract (`rem −= mask & w_k`; false lanes subtract `+0.0`, a
+/// bitwise no-op since `rem` is never `-0.0` on this path), and a
+/// `movemask` whose bit `l` lands in bit `k` of lane `l`'s pattern — the
+/// exact per-value greedy loop, eight neurons at a time.
+///
+/// Inputs that clamp to a ratio `≤ 0.0` are forced silent (pattern 0) —
+/// this matters because `thresholds[k] = w_k − 1e-6` goes *negative* once
+/// `w_k < 1e-6` (`k ≥ 20`), at which point a zero remainder would fire
+/// every remaining phase.  The per-value reference implements the same
+/// guard as an early return.
+///
+/// # Safety
+/// Requires `bits.len() == x.len()` and `weights.len() == thresholds.len()
+/// <= 64` (patterns accumulate in a `u64`); the backend `V` must be
+/// runnable on this CPU.
+#[inline(always)]
+pub(crate) unsafe fn phase_bits_generic<V: F32x8>(
+    x: &[f32],
+    threshold: f32,
+    weights: &[f32],
+    thresholds: &[f32],
+    bits: &mut [u64],
+) {
+    debug_assert_eq!(bits.len(), x.len());
+    debug_assert_eq!(weights.len(), thresholds.len());
+    debug_assert!(weights.len() <= 64);
+    let n = x.len();
+    let nb = n - (n % BLOCK);
+    let xp = x.as_ptr();
+    let zero = unsafe { V::zero() };
+    let theta = unsafe { V::splat(threshold) };
+    let mut i = 0usize;
+    while i < nb {
+        let v = unsafe { V::load(xp.add(i)) };
+        let ratio = unsafe { v.max(zero).min(theta).div(theta) };
+        // Lanes whose ratio <= 0.0 must produce pattern 0 (see above).
+        let silent = unsafe { zero.cmp_ge(ratio).movemask() };
+        let mut rem = ratio;
+        let mut lane_bits = [0u64; BLOCK];
+        for (k, (&w, &th)) in weights.iter().zip(thresholds).enumerate() {
+            let fire = unsafe { rem.cmp_ge(V::splat(th)) };
+            rem = unsafe { rem.sub(fire.and(V::splat(w))) };
+            let m = unsafe { fire.movemask() };
+            for (l, lb) in lane_bits.iter_mut().enumerate() {
+                *lb |= (((m >> l) & 1) as u64) << k;
+            }
+        }
+        for (l, lb) in lane_bits.iter().enumerate() {
+            bits[i + l] = if silent & (1 << l) != 0 { 0 } else { *lb };
+        }
+        i += BLOCK;
+    }
+    for (j, b) in bits.iter_mut().enumerate().skip(nb) {
+        *b = unsafe { super::phase_bits_value(*xp.add(j), threshold, weights, thresholds) };
+    }
+}
+
 /// Copies `len` elements from `src` to `dst` through the vector unit.
 ///
 /// # Safety
@@ -387,4 +557,66 @@ pub(crate) unsafe fn im2col_generic<V: F32x8>(
             row += 1;
         }
     }
+}
+
+/// Scalar form of the exact integer phase-weight sum: every spike at time
+/// `t` contributes `2^(!t & mask)` (for a power-of-two period `mask + 1`,
+/// `!t & mask` is `period-1 - phase`).  Integer addition is exact and
+/// associative, so the result is independent of spike order, accumulation
+/// strategy and ISA **by construction** — which is why this kernel family,
+/// unlike the float reductions above, needs no canonical lane order: the
+/// four independent accumulators here and the vector shifts of
+/// [`phase_pow2_sum_avx2`] are free to differ in shape.
+pub(crate) fn phase_pow2_sum_scalar(train: &[u32], mask: u32) -> u64 {
+    let mut chunks = train.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0u64, 0u64, 0u64, 0u64);
+    for q in chunks.by_ref() {
+        s0 += 1u64 << (!q[0] & mask);
+        s1 += 1u64 << (!q[1] & mask);
+        s2 += 1u64 << (!q[2] & mask);
+        s3 += 1u64 << (!q[3] & mask);
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for &t in chunks.remainder() {
+        s += 1u64 << (!t & mask);
+    }
+    s
+}
+
+/// AVX2 form of [`phase_pow2_sum_scalar`]: eight spikes per iteration via
+/// the variable per-lane shift (`vpsllvd`, the instruction that makes this
+/// kernel AVX2-only — SSE2 has no per-lane shift counts and runs the
+/// scalar form instead), each `u32` power widened to a `u64` lane before
+/// accumulation so the vector sums cannot wrap.
+///
+/// # Safety
+/// Requires AVX2 (callers dispatch through the resolved backend) and
+/// `mask < 32` (the shift count domain of `vpsllvd`; asserted by the
+/// public wrapper).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn phase_pow2_sum_avx2(train: &[u32], mask: u32) -> u64 {
+    use core::arch::x86_64::*;
+    let vmask = _mm256_set1_epi32(mask as i32);
+    let one = _mm256_set1_epi32(1);
+    let mut acc = _mm256_setzero_si256();
+    let mut chunks = train.chunks_exact(8);
+    for q in chunks.by_ref() {
+        // SAFETY: `q` is exactly 8 contiguous u32s; loadu has no alignment
+        // requirement.
+        let v = unsafe { _mm256_loadu_si256(q.as_ptr().cast()) };
+        let sh = _mm256_andnot_si256(v, vmask);
+        let pw = _mm256_sllv_epi32(one, sh);
+        let lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(pw));
+        let hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256::<1>(pw));
+        acc = _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi));
+    }
+    let mut lanes = [0u64; 4];
+    // SAFETY: `lanes` is 32 bytes of writable memory; storeu is unaligned.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc) };
+    let mut s = lanes.iter().sum::<u64>();
+    for &t in chunks.remainder() {
+        s += 1u64 << (!t & mask);
+    }
+    s
 }

@@ -301,6 +301,39 @@ mod x86 {
             }
 
             #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn encode_ratio(x: &[f32], threshold: f32, out: &mut [f32]) {
+                unsafe { kernels::encode_ratio_generic::<$vty>(x, threshold, out) }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn encode_quant(
+                x: &[f32],
+                threshold: f32,
+                scale: f32,
+                out: &mut [f32],
+            ) {
+                unsafe { kernels::encode_quant_generic::<$vty>(x, threshold, scale, out) }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn scale_ratio(io: &mut [f32], mul: f32, div: f32) {
+                unsafe { kernels::scale_ratio_generic::<$vty>(io, mul, div) }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn phase_bits(
+                x: &[f32],
+                threshold: f32,
+                weights: &[f32],
+                thresholds: &[f32],
+                bits: &mut [u64],
+            ) {
+                unsafe {
+                    kernels::phase_bits_generic::<$vty>(x, threshold, weights, thresholds, bits)
+                }
+            }
+
+            #[target_feature(enable = $feature)]
             #[allow(clippy::too_many_arguments)]
             pub(crate) unsafe fn im2col(
                 x: &[f32],
@@ -527,6 +560,207 @@ pub fn sum_gather_with(backend: SimdBackend, table: &[f32], idx: &[u32]) -> f32 
     dispatch!(backend, sum_gather_generic::sum_gather(table, idx))
 }
 
+/// Exact integer phase-weight sum on an explicit backend: for each spike
+/// time `t`, accumulates `2^(!t & mask)` into a `u64` — with a
+/// power-of-two phase period `mask + 1`, that term is `2^(period-1-phase)`,
+/// i.e. the phase-coding weight `2^-(phase+1)` scaled by `2^period`.  The
+/// phase decode divides the sum back down in one rounding step.
+///
+/// Unlike the float reductions, this kernel needs no canonical lane order:
+/// integer addition is exact and associative, so every backend is free to
+/// pick its own accumulation shape (four scalar accumulators, or eight
+/// `vpsllvd` lanes on AVX2) and still produce the identical `u64`.  SSE2
+/// has no per-lane variable shift and runs the scalar form.
+///
+/// # Panics
+/// If `mask + 1` is not a power of two or `mask >= 32` (the shift-count
+/// domain of the AVX2 per-lane shift).
+pub fn phase_pow2_sum_with(backend: SimdBackend, train: &[u32], mask: u32) -> u64 {
+    assert!(
+        mask < 32 && (mask + 1).is_power_of_two(),
+        "phase_pow2_sum: mask must be 2^k - 1 with k <= 5"
+    );
+    match backend.resolve() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: resolve() only returns Avx2 when the CPU has it, and the
+        // mask domain was asserted above.
+        SimdBackend::Avx2 => unsafe { kernels::phase_pow2_sum_avx2(train, mask) },
+        _ => kernels::phase_pow2_sum_scalar(train, mask),
+    }
+}
+
+/// Lane-wise normalised clamp on an explicit backend: `out[i] =
+/// min(max(x[i], 0), θ) / θ` with the canonical x86 `max`/`min` semantics —
+/// the lane-blocked form of [`clamp_ratio`].  The TTFS/TTAS encodes use
+/// this to compute every neuron's activation ratio in lanes before the
+/// (inherently scalar) logarithm maps active ratios to spike times.
+///
+/// # Panics
+/// If `out.len() != x.len()` or `threshold` is not strictly positive (real
+/// assertions, see [`matvec_slices_with`]).
+pub fn encode_ratio_with(backend: SimdBackend, x: &[f32], threshold: f32, out: &mut [f32]) {
+    assert_eq!(out.len(), x.len(), "encode_ratio: out.len() != x.len()");
+    assert!(threshold > 0.0, "encode_ratio: threshold must be positive");
+    dispatch!(
+        backend,
+        encode_ratio_generic::encode_ratio(x, threshold, out)
+    )
+}
+
+/// Lane-wise quantising encode on an explicit backend: `out[i] =
+/// round_half_up(min(max(x[i], 0), θ)/θ · scale)` as an `f32` whole number
+/// — the lane-blocked form of [`quantize_value`].  The rate coding uses
+/// `scale = time_steps`, the burst coding `scale = max_spikes`; both then
+/// materialise the spike trains from the counts in a scalar tail.
+///
+/// # Panics
+/// If `out.len() != x.len()`, `threshold` is not strictly positive, or
+/// `scale` is outside `[0, 2^24]` (the exact-integer domain of the
+/// truncating lane conversion). Real assertions, see
+/// [`matvec_slices_with`].
+pub fn encode_quant_with(
+    backend: SimdBackend,
+    x: &[f32],
+    threshold: f32,
+    scale: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), x.len(), "encode_quant: out.len() != x.len()");
+    assert!(threshold > 0.0, "encode_quant: threshold must be positive");
+    assert!(
+        (0.0..=16_777_216.0).contains(&scale),
+        "encode_quant: scale outside [0, 2^24]"
+    );
+    dispatch!(
+        backend,
+        encode_quant_generic::encode_quant(x, threshold, scale, out)
+    )
+}
+
+/// Lane-wise in-place rescale on an explicit backend: `io[i] = io[i] · mul
+/// / div`.  The rate decode uses this to map spike counts (written into
+/// the output buffer first) back to values (`mul = θ`, `div =
+/// time_steps`).
+pub fn scale_ratio_with(backend: SimdBackend, io: &mut [f32], mul: f32, div: f32) {
+    dispatch!(backend, scale_ratio_generic::scale_ratio(io, mul, div))
+}
+
+/// Lane-wise phase-coding bit patterns on an explicit backend: bit `k` of
+/// `bits[i]` is set iff phase `k` of every period fires for input `x[i]` —
+/// the lane-blocked form of [`phase_bits_value`] (greedy binary expansion
+/// of the clamped ratio over `weights`, firing where the remainder clears
+/// `thresholds`).  The phase coding computes each neuron's pattern once
+/// here, then replays it across periods in a scalar tail.
+///
+/// # Panics
+/// If `bits.len() != x.len()`, `threshold` is not strictly positive, or
+/// `weights`/`thresholds` lengths differ or exceed 64 (patterns accumulate
+/// in a `u64`). Real assertions, see [`matvec_slices_with`].
+pub fn phase_bits_with(
+    backend: SimdBackend,
+    x: &[f32],
+    threshold: f32,
+    weights: &[f32],
+    thresholds: &[f32],
+    bits: &mut [u64],
+) {
+    assert_eq!(bits.len(), x.len(), "phase_bits: bits.len() != x.len()");
+    assert!(threshold > 0.0, "phase_bits: threshold must be positive");
+    assert_eq!(
+        weights.len(),
+        thresholds.len(),
+        "phase_bits: weights.len() != thresholds.len()"
+    );
+    assert!(weights.len() <= 64, "phase_bits: more than 64 phases");
+    dispatch!(
+        backend,
+        phase_bits_generic::phase_bits(x, threshold, weights, thresholds, bits)
+    )
+}
+
+/// The canonical lane maximum: `if a > b { a } else { b }` — the exact
+/// semantics of x86 `maxps` (returns the *second* operand on NaN or
+/// equality), which is what every vector backend executes.  This is the
+/// scalar tails' and per-value wrappers' definition of `max`; note it is
+/// **not** `f32::max`, which treats NaN differently.
+#[inline(always)]
+pub fn lane_max(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// The canonical lane minimum: `if a < b { a } else { b }` — x86 `minps`
+/// semantics (see [`lane_max`]).
+#[inline(always)]
+pub fn lane_min(a: f32, b: f32) -> f32 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// The canonical clamped activation ratio every coding's encode starts
+/// from: `min(max(x, 0), θ) / θ` under [`lane_max`]/[`lane_min`]
+/// semantics.  NaN and `-0.0` activations both flush to `+0.0` (silent);
+/// everything else lands in `[0, 1]`.  This is the per-value reference the
+/// lane kernels must match bit for bit.
+#[inline(always)]
+pub fn clamp_ratio(x: f32, threshold: f32) -> f32 {
+    lane_min(lane_max(x, 0.0), threshold) / threshold
+}
+
+/// Half-up rounding on the non-negative domain: `trunc(y) + (y − trunc(y)
+/// ≥ 0.5 ? 1.0 : 0.0)`.  Equals `f32::round` for every finite `y ≥ 0`
+/// (half-up and half-away-from-zero coincide there), but is built only
+/// from operations the 8-lane machine has (truncation, subtract, ordered
+/// compare, masked add) — SSE2 has no rounding instruction — so lanes and
+/// scalar agree bitwise by construction: `y − trunc(y)` is exact for
+/// finite `y ≥ 0`, and every other step is a single correctly rounded op.
+#[inline(always)]
+pub fn round_half_up_nonneg(y: f32) -> f32 {
+    let t = y.trunc();
+    t + if y - t >= 0.5 { 1.0 } else { 0.0 }
+}
+
+/// The canonical per-value quantising encode shared by the rate and burst
+/// codings: `round_half_up(clamp_ratio(x, θ) · scale)` as an `f32` whole
+/// number in `[0, scale]`.  The per-value reference of
+/// [`encode_quant_with`].
+#[inline(always)]
+pub fn quantize_value(x: f32, threshold: f32, scale: f32) -> f32 {
+    round_half_up_nonneg(clamp_ratio(x, threshold) * scale)
+}
+
+/// The canonical per-value phase-coding bit pattern: greedy binary
+/// expansion of `clamp_ratio(x, θ)` over the per-phase `weights`, setting
+/// bit `k` where the remainder clears `thresholds[k]`.  Ratios `≤ 0.0`
+/// are silent (pattern 0) — the guard matters because `thresholds[k] =
+/// w_k − 1e-6` goes negative once `w_k < 1e-6`, at which point a zero
+/// remainder would fire every remaining phase.  The per-value reference of
+/// [`phase_bits_with`].
+#[inline(always)]
+pub fn phase_bits_value(x: f32, threshold: f32, weights: &[f32], thresholds: &[f32]) -> u64 {
+    debug_assert_eq!(weights.len(), thresholds.len());
+    debug_assert!(weights.len() <= 64);
+    let ratio = clamp_ratio(x, threshold);
+    if ratio <= 0.0 {
+        return 0;
+    }
+    let mut rem = ratio;
+    let mut bits = 0u64;
+    for (k, (&w, &th)) in weights.iter().zip(thresholds).enumerate() {
+        if rem >= th {
+            rem -= w;
+            bits |= 1 << k;
+        }
+    }
+    bits
+}
+
 /// Sums `term(0) + … + term(n-1)` in the canonical lane-blocked order
 /// without materialising a slice: term `i` accumulates into lane `i % 8`
 /// over ascending 8-wide blocks, the lanes combine through [`reduce8`],
@@ -663,6 +897,32 @@ mod tests {
                 "sum_gather({backend:?}) != sum8_by"
             );
         }
+    }
+
+    #[test]
+    fn phase_pow2_sum_matches_direct_shift_sum_on_every_backend() {
+        for mask in [0u32, 1, 3, 7, 15, 31] {
+            // Lengths straddling the 4- and 8-wide chunk boundaries.
+            for len in [0usize, 1, 3, 4, 7, 8, 9, 16, 23, 64, 100] {
+                let train: Vec<u32> = (0..len as u32)
+                    .map(|i| i.wrapping_mul(2_654_435_761))
+                    .collect();
+                let reference: u64 = train.iter().map(|&t| 1u64 << (!t & mask)).sum();
+                for backend in available_backends() {
+                    assert_eq!(
+                        phase_pow2_sum_with(backend, &train, mask),
+                        reference,
+                        "phase_pow2_sum({backend:?}) mask={mask} len={len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase_pow2_sum: mask must be 2^k - 1")]
+    fn phase_pow2_sum_rejects_non_mask_shapes() {
+        phase_pow2_sum_with(SimdBackend::Scalar, &[0, 1, 2], 5);
     }
 
     #[test]

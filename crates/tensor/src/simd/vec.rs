@@ -44,6 +44,39 @@ pub(crate) trait F32x8: Copy {
     unsafe fn add(self, rhs: Self) -> Self;
     /// Lane-wise IEEE single multiply.
     unsafe fn mul(self, rhs: Self) -> Self;
+    /// Lane-wise IEEE single subtract.
+    unsafe fn sub(self, rhs: Self) -> Self;
+    /// Lane-wise IEEE single divide.
+    unsafe fn div(self, rhs: Self) -> Self;
+    /// Lane-wise maximum with the **canonical x86 semantics**
+    /// `max(a, b) = if a > b { a } else { b }` — returns the *second*
+    /// operand when the lanes compare unordered (NaN) or equal, exactly
+    /// like `maxps`.  This is *not* `f32::max` (which is NaN-commutative);
+    /// the scalar backend and [`super::lane_max`] replicate the x86 rule so
+    /// every backend agrees bit for bit.
+    unsafe fn max(self, rhs: Self) -> Self;
+    /// Lane-wise minimum with the canonical x86 semantics
+    /// `min(a, b) = if a < b { a } else { b }` (see [`F32x8::max`]).
+    unsafe fn min(self, rhs: Self) -> Self;
+    /// Lane-wise round-toward-zero to a whole number, via the x86
+    /// `cvttps2dq`/`cvtdq2ps` pair (SSE2 has no float rounding
+    /// instruction).  **Precondition:** every lane is finite with
+    /// `|x| < 2^31`; outside that domain the i32 round-trip saturates
+    /// differently per backend.  The coding kernels keep lanes in
+    /// `[0, 2^24]`, where the round-trip is exact and equals `f32::trunc`.
+    unsafe fn trunc(self) -> Self;
+    /// Lane-wise ordered `>=` compare producing a mask: all-ones bits where
+    /// `self >= rhs`, `+0.0` otherwise.  Unordered (NaN) lanes compare
+    /// false, exactly like `cmpps`.
+    unsafe fn cmp_ge(self, rhs: Self) -> Self;
+    /// Lane-wise bitwise AND — combines a [`F32x8::cmp_ge`] mask with a
+    /// value vector (`mask & v` keeps `v` in true lanes, `+0.0` in false
+    /// lanes).
+    unsafe fn and(self, rhs: Self) -> Self;
+    /// Packs the sign bit of each lane into bit `l` of the result, exactly
+    /// like `movmskps`.  Applied to a [`F32x8::cmp_ge`] mask this yields
+    /// one bit per lane of the compare outcome.
+    unsafe fn movemask(self) -> u32;
     /// Lane `l` = `table[idx[l]]` for `idx[0..8]`; all indices must be in
     /// bounds (no backend checks them).
     unsafe fn gather(table: &[f32], idx: *const u32) -> Self;
@@ -103,6 +136,84 @@ impl F32x8 for ScalarV {
     }
 
     #[inline(always)]
+    unsafe fn sub(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane -= r;
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane /= r;
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn max(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane = super::lane_max(*lane, r);
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn min(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane = super::lane_min(*lane, r);
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn trunc(self) -> Self {
+        // Within the documented |x| < 2^31 precondition `f32::trunc` is
+        // exactly the cvttps2dq/cvtdq2ps round-trip.
+        let mut lanes = self.0;
+        for lane in lanes.iter_mut() {
+            *lane = lane.trunc();
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn cmp_ge(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane = if *lane >= r {
+                f32::from_bits(u32::MAX)
+            } else {
+                0.0
+            };
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn and(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane = f32::from_bits(lane.to_bits() & r.to_bits());
+        }
+        ScalarV(lanes)
+    }
+
+    #[inline(always)]
+    unsafe fn movemask(self) -> u32 {
+        let mut m = 0u32;
+        for (l, lane) in self.0.iter().enumerate() {
+            m |= (lane.to_bits() >> 31) << l;
+        }
+        m
+    }
+
+    #[inline(always)]
     unsafe fn gather(table: &[f32], idx: *const u32) -> Self {
         let mut lanes = [0.0f32; 8];
         for (l, lane) in lanes.iter_mut().enumerate() {
@@ -133,11 +244,14 @@ pub(crate) use x86::{Avx2V, Sse2V};
 mod x86 {
     use super::F32x8;
     use std::arch::x86_64::{
-        __m128, __m128i, __m256, __m256i, _mm256_add_ps, _mm256_castps256_ps128,
+        __m128, __m128i, __m256, __m256i, _mm256_add_ps, _mm256_and_ps, _mm256_castps256_ps128,
+        _mm256_cmp_ps, _mm256_cvtepi32_ps, _mm256_cvttps_epi32, _mm256_div_ps,
         _mm256_extractf128_ps, _mm256_i32gather_ps, _mm256_loadu_ps, _mm256_loadu_si256,
-        _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps, _mm_add_ps, _mm_add_ss,
-        _mm_cvtss_f32, _mm_loadu_ps, _mm_movehl_ps, _mm_mul_ps, _mm_set1_ps, _mm_set_ps,
-        _mm_setzero_ps, _mm_shuffle_ps, _mm_storeu_ps,
+        _mm256_max_ps, _mm256_min_ps, _mm256_movemask_ps, _mm256_mul_ps, _mm256_set1_ps,
+        _mm256_setzero_ps, _mm256_storeu_ps, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_and_ps,
+        _mm_cmpge_ps, _mm_cvtepi32_ps, _mm_cvtss_f32, _mm_cvttps_epi32, _mm_div_ps, _mm_loadu_ps,
+        _mm_max_ps, _mm_min_ps, _mm_movehl_ps, _mm_movemask_ps, _mm_mul_ps, _mm_set1_ps,
+        _mm_set_ps, _mm_setzero_ps, _mm_shuffle_ps, _mm_storeu_ps, _mm_sub_ps, _CMP_GE_OQ,
     };
 
     /// Narrows the two 128-bit halves of an 8-lane accumulator down to one
@@ -198,6 +312,51 @@ mod x86 {
         }
 
         #[inline(always)]
+        unsafe fn sub(self, rhs: Self) -> Self {
+            unsafe { Sse2V(_mm_sub_ps(self.0, rhs.0), _mm_sub_ps(self.1, rhs.1)) }
+        }
+
+        #[inline(always)]
+        unsafe fn div(self, rhs: Self) -> Self {
+            unsafe { Sse2V(_mm_div_ps(self.0, rhs.0), _mm_div_ps(self.1, rhs.1)) }
+        }
+
+        #[inline(always)]
+        unsafe fn max(self, rhs: Self) -> Self {
+            unsafe { Sse2V(_mm_max_ps(self.0, rhs.0), _mm_max_ps(self.1, rhs.1)) }
+        }
+
+        #[inline(always)]
+        unsafe fn min(self, rhs: Self) -> Self {
+            unsafe { Sse2V(_mm_min_ps(self.0, rhs.0), _mm_min_ps(self.1, rhs.1)) }
+        }
+
+        #[inline(always)]
+        unsafe fn trunc(self) -> Self {
+            unsafe {
+                Sse2V(
+                    _mm_cvtepi32_ps(_mm_cvttps_epi32(self.0)),
+                    _mm_cvtepi32_ps(_mm_cvttps_epi32(self.1)),
+                )
+            }
+        }
+
+        #[inline(always)]
+        unsafe fn cmp_ge(self, rhs: Self) -> Self {
+            unsafe { Sse2V(_mm_cmpge_ps(self.0, rhs.0), _mm_cmpge_ps(self.1, rhs.1)) }
+        }
+
+        #[inline(always)]
+        unsafe fn and(self, rhs: Self) -> Self {
+            unsafe { Sse2V(_mm_and_ps(self.0, rhs.0), _mm_and_ps(self.1, rhs.1)) }
+        }
+
+        #[inline(always)]
+        unsafe fn movemask(self) -> u32 {
+            unsafe { (_mm_movemask_ps(self.0) as u32) | ((_mm_movemask_ps(self.1) as u32) << 4) }
+        }
+
+        #[inline(always)]
         unsafe fn gather(table: &[f32], idx: *const u32) -> Self {
             // SSE2 has no gather instruction; eight scalar loads assembled
             // into lanes are bit-identical to a hardware gather by
@@ -255,6 +414,48 @@ mod x86 {
         #[inline(always)]
         unsafe fn mul(self, rhs: Self) -> Self {
             unsafe { Avx2V(_mm256_mul_ps(self.0, rhs.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn sub(self, rhs: Self) -> Self {
+            unsafe { Avx2V(_mm256_sub_ps(self.0, rhs.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn div(self, rhs: Self) -> Self {
+            unsafe { Avx2V(_mm256_div_ps(self.0, rhs.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn max(self, rhs: Self) -> Self {
+            unsafe { Avx2V(_mm256_max_ps(self.0, rhs.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn min(self, rhs: Self) -> Self {
+            unsafe { Avx2V(_mm256_min_ps(self.0, rhs.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn trunc(self) -> Self {
+            unsafe { Avx2V(_mm256_cvtepi32_ps(_mm256_cvttps_epi32(self.0))) }
+        }
+
+        #[inline(always)]
+        unsafe fn cmp_ge(self, rhs: Self) -> Self {
+            // `_CMP_GE_OQ`: ordered, non-signaling — NaN lanes compare
+            // false, same outcome as SSE2's `cmpgeps` on quiet NaNs.
+            unsafe { Avx2V(_mm256_cmp_ps::<_CMP_GE_OQ>(self.0, rhs.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn and(self, rhs: Self) -> Self {
+            unsafe { Avx2V(_mm256_and_ps(self.0, rhs.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn movemask(self) -> u32 {
+            unsafe { _mm256_movemask_ps(self.0) as u32 }
         }
 
         #[inline(always)]

@@ -471,11 +471,16 @@ fn sparse_and_dense_kernels_are_byte_identical_across_the_matrix() {
 /// Scalar-vs-SIMD matrix: 5 codings × {deletion, jitter, composite} ×
 /// batch sizes 1..=16 × {dense, sparse, auto} kernel policies × every ISA
 /// the host CPU supports.  For each ISA the three policies must agree byte
-/// for byte (outcomes + logit bits), and the per-ISA digests — logit bits
-/// plus a few draws from the post-simulation RNG, so stream divergence is
-/// caught too — must be identical to the scalar backend's digest.  This is
-/// the end-to-end half of the SIMD bit-identity contract; the kernel-level
-/// half lives in `crates/tensor/tests/simd_kernel_proptest.rs`.
+/// for byte (outcomes + logit bits), and the per-ISA digests — logit bits,
+/// a few draws from the post-simulation RNG (so stream divergence is
+/// caught), and a conv → pool → linear probe (so the `im2col`/pooling arms
+/// ride through the same matrix) — must be identical to the scalar
+/// backend's digest.  Together with the lane-blocked coding layer this
+/// covers the *entire* noisy pipeline per ISA: block encode → noise →
+/// block decode → dense/sparse forward.  This is the end-to-end half of
+/// the SIMD bit-identity contract; the kernel-level half lives in
+/// `crates/tensor/tests/simd_kernel_proptest.rs` and the coding-layer half
+/// in `crates/snn/tests/coding_simd_proptest.rs`.
 #[test]
 fn scalar_and_simd_backends_are_byte_identical_across_the_matrix() {
     use nrsnn_tensor::simd::{available_backends, set_backend, SimdBackend};
@@ -483,6 +488,9 @@ fn scalar_and_simd_backends_are_byte_identical_across_the_matrix() {
 
     let base = matrix_network();
     let inputs = matrix_inputs(16, 24);
+    let conv_net = conv_network();
+    let conv_inputs = matrix_inputs(2, 36);
+    let conv_cfg = CodingConfig::new(40, 1.0);
     let cfg = CodingConfig::new(48, 1.0);
     let noise_names = ["deletion", "jitter", "composite"];
     let build_noise = |name: &str| -> Box<dyn SpikeTransform> {
@@ -581,6 +589,25 @@ fn scalar_and_simd_backends_are_byte_identical_across_the_matrix() {
                     )
                     .unwrap();
                 digest.extend((0..4).map(|_| rng.gen::<u32>()));
+                // Conv/pool probe: the `im2col` + kernel-transpose + matmul
+                // and pooling arms under the same coding, noise and ISA.
+                let mut conv_ws = SimWorkspace::new();
+                for sample in 0..2 {
+                    let row = conv_inputs.row_slice(sample).unwrap();
+                    let mut rng = StdRng::seed_from_u64(derive_seed(123, sample as u64));
+                    let outcome = conv_net
+                        .simulate_with(
+                            row,
+                            coding.as_ref(),
+                            &conv_cfg,
+                            noise.as_ref(),
+                            &mut rng,
+                            &mut conv_ws,
+                        )
+                        .unwrap();
+                    digest.push(outcome.total_spikes as u32);
+                    digest.extend(conv_ws.logits().iter().map(|v| v.to_bits()));
+                }
                 digest
             })
             .collect()
