@@ -95,6 +95,7 @@ fn start_server() -> (Server, SocketAddr) {
             max_batch: 1, // batch 1: the protocol tax is the subject
             batch_window: Duration::ZERO,
             queue_capacity: 256,
+            ..ServerConfig::default()
         },
     )
     .expect("start server");

@@ -141,6 +141,7 @@ fn throughput_report(w: &Workload) -> Server {
             max_batch: 16,
             batch_window: Duration::ZERO,
             queue_capacity: 1024,
+            ..ServerConfig::default()
         },
     )
     .expect("start server");

@@ -1,0 +1,116 @@
+//! Monotonic clock abstraction: wall-clock-free timestamps as nanoseconds
+//! since a process-local epoch.
+//!
+//! Every span and trace timestamp in this crate is a `u64` nanosecond offset
+//! from one [`MonotonicClock`]'s epoch (the instant the server's metrics
+//! were created). Offsets are comparable across threads, cheap to ship over
+//! the wire, and — unlike wall-clock time — immune to NTP steps. 2^64
+//! nanoseconds is ~584 years of uptime, so saturation is theoretical.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Source of nanosecond timestamps. The serving stack is generic over this
+/// only at the test boundary: production code uses [`MonotonicClock`],
+/// histogram/recorder tests use [`ManualClock`] for reproducible inputs.
+pub trait Clock {
+    /// Nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// A monotonic clock anchored at the [`Instant`] it was created.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose epoch is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The anchoring instant.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Converts an [`Instant`] captured elsewhere (e.g. a request's enqueue
+    /// time) into nanoseconds since this clock's epoch. Instants before the
+    /// epoch saturate to zero rather than panicking.
+    pub fn ns_since_epoch(&self, at: Instant) -> u64 {
+        let nanos = at.saturating_duration_since(self.epoch).as_nanos();
+        u64::try_from(nanos).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.ns_since_epoch(Instant::now())
+    }
+}
+
+/// A hand-cranked clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a clock reading `start_ns`.
+    pub fn new(start_ns: u64) -> Self {
+        ManualClock {
+            now_ns: AtomicU64::new(start_ns),
+        }
+    }
+
+    /// Advances the reading by `delta_ns`.
+    pub fn advance(&self, delta_ns: u64) {
+        self.now_ns.fetch_add(delta_ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn instants_before_the_epoch_saturate_to_zero() {
+        let early = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        let clock = MonotonicClock::new();
+        assert_eq!(clock.ns_since_epoch(early), 0);
+        assert_eq!(clock.ns_since_epoch(clock.epoch()), 0);
+    }
+
+    #[test]
+    fn manual_clock_is_hand_cranked() {
+        let clock = ManualClock::new(5);
+        assert_eq!(clock.now_ns(), 5);
+        clock.advance(37);
+        assert_eq!(clock.now_ns(), 42);
+    }
+}

@@ -1,0 +1,143 @@
+//! # nrsnn-obs
+//!
+//! Std-only observability primitives for the NRSNN serving stack: a
+//! monotonic [`clock`] abstraction, log-linear HDR-style
+//! [histograms](crate::hist) with p50/p99/p999 at bounded memory, per-worker
+//! **sharded** metric sinks that are aggregated only at snapshot time, and a
+//! preallocated ring-buffer [flight recorder](crate::recorder) holding the
+//! last N per-stage request timelines (plus slow/failed outliers).
+//!
+//! ## Design constraints
+//!
+//! The serving hot path records into these sinks on **every** request, so
+//! everything here is built around three rules:
+//!
+//! 1. **No contention on the record path.** Counters and histograms are
+//!    sharded per worker; a record touches only its own shard's atomics
+//!    (`Relaxed` ordering — these are statistics, not synchronisation).
+//!    Aggregation across shards happens once, at snapshot time.
+//! 2. **Zero steady-state allocations.** The flight recorder copies spans
+//!    into preallocated ring slots with `clear()` + `extend_from_slice()`;
+//!    after warm-up no recording path allocates (pinned by the workspace's
+//!    `alloc_regression` integration test).
+//! 3. **Determinism is untouchable.** Nothing in this crate reads or
+//!    advances an RNG, so instrumentation can never perturb a simulation
+//!    result — replies stay bit-identical with observability on, off, or
+//!    concurrently scraped.
+//!
+//! ## Histogram precision
+//!
+//! The latency histograms are log-linear: each power-of-two octave is split
+//! into 32 linear sub-buckets, so any recorded value is reported with at
+//! most ~3% relative error while the whole `u64` range fits in a fixed
+//! 1920-bucket table (15 KiB per shard). Values below 32 are exact.
+
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod clock;
+pub mod hist;
+pub mod recorder;
+mod span;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use hist::{bucket_index, bucket_upper_bound, Histogram, ShardedHistogram, NUM_BUCKETS};
+pub use recorder::{FlightRecorder, RecorderConfig};
+pub use span::{KernelPath, Span, Stage, TraceRecord};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One cache-line-padded counter cell, so adjacent shards never false-share.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+/// A monotonically increasing counter sharded across workers: each worker
+/// adds to its own cache-line-padded cell with `Relaxed` ordering, and
+/// [`ShardedCounter::total`] sums the cells at snapshot time.
+///
+/// ```
+/// let c = nrsnn_obs::ShardedCounter::new(2);
+/// c.incr(0);
+/// c.add(1, 41);
+/// assert_eq!(c.total(), 42);
+/// ```
+#[derive(Debug)]
+pub struct ShardedCounter {
+    cells: Box<[PaddedCell]>,
+}
+
+impl ShardedCounter {
+    /// Creates a counter with `shards` independent cells (at least one).
+    pub fn new(shards: usize) -> Self {
+        let cells = (0..shards.max(1)).map(|_| PaddedCell::default()).collect();
+        ShardedCounter { cells }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Adds `n` to shard `shard`'s cell.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range — shard indices come from the
+    /// worker pool, so an out-of-range index is a plumbing bug.
+    pub fn add(&self, shard: usize, n: u64) {
+        self.cells[shard].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to shard `shard`'s cell.
+    pub fn incr(&self, shard: usize) {
+        self.add(shard, 1);
+    }
+
+    /// Sum over all shards (snapshot-time aggregation).
+    pub fn total(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shards_aggregate_at_snapshot() {
+        let c = ShardedCounter::new(4);
+        assert_eq!(c.shards(), 4);
+        for shard in 0..4 {
+            for _ in 0..=shard {
+                c.incr(shard);
+            }
+        }
+        assert_eq!(c.total(), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn zero_shards_clamp_to_one() {
+        let c = ShardedCounter::new(0);
+        c.incr(0);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted() {
+        let c = std::sync::Arc::new(ShardedCounter::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|shard| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr(shard);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.total(), 30_000);
+    }
+}

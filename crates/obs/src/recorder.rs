@@ -1,0 +1,263 @@
+//! The flight recorder: a preallocated, sharded ring buffer of the last N
+//! request timelines, with a separate retention ring for slow/failed
+//! outliers so they survive the churn of healthy traffic.
+//!
+//! Each worker records into its own shard (one uncontended mutex per
+//! worker); all slots are preallocated [`TraceRecord`]s refilled via
+//! [`TraceRecord::copy_from`], so steady-state recording performs **zero**
+//! heap allocations once every slot's span buffer has grown to the
+//! workload's span count. Queries ([`FlightRecorder::recent`]) run on the
+//! scrape path and may allocate freely.
+
+use std::sync::Mutex;
+
+use crate::span::TraceRecord;
+
+/// Sizing and outlier policy of a [`FlightRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Number of shards (one per worker, at least one).
+    pub shards: usize,
+    /// Recent-ring capacity per shard.
+    pub recent_capacity: usize,
+    /// Outlier-ring capacity per shard.
+    pub outlier_capacity: usize,
+    /// A successful request at least this slow is retained as an outlier;
+    /// `0` disables the slowness criterion (failures are always outliers).
+    pub slow_threshold_ns: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            shards: 1,
+            recent_capacity: 64,
+            outlier_capacity: 16,
+            slow_threshold_ns: 50_000_000, // 50 ms
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    slots: Vec<TraceRecord>,
+    capacity: usize,
+    /// Next slot to overwrite.
+    head: usize,
+    /// Number of live slots (saturates at `capacity`).
+    len: usize,
+}
+
+impl Ring {
+    fn with_capacity(capacity: usize) -> Self {
+        Ring {
+            // Fully materialise the slots up front: steady-state recording
+            // must never push.
+            slots: (0..capacity).map(|_| TraceRecord::default()).collect(),
+            capacity,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push_copy(&mut self, record: &TraceRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.slots[self.head].copy_from(record);
+        self.head = (self.head + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+    }
+
+    fn live(&self) -> &[TraceRecord] {
+        &self.slots[..self.len]
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    recent: Ring,
+    outliers: Ring,
+}
+
+/// Bounded in-memory store of the most recent request timelines.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    shards: Vec<Mutex<Shard>>,
+    slow_threshold_ns: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with every ring slot preallocated.
+    pub fn new(config: RecorderConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| {
+                Mutex::new(Shard {
+                    recent: Ring::with_capacity(config.recent_capacity),
+                    outliers: Ring::with_capacity(config.outlier_capacity),
+                })
+            })
+            .collect();
+        FlightRecorder {
+            shards,
+            slow_threshold_ns: config.slow_threshold_ns,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records `record` into shard `shard` (the recording worker's own
+    /// shard — the mutex is uncontended except against a concurrent
+    /// scrape). Failed requests, and successful ones at least
+    /// `slow_threshold_ns` long, are additionally retained in the outlier
+    /// ring. Allocation-free after warm-up.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range (a worker-plumbing bug).
+    pub fn record(&self, shard: usize, record: &TraceRecord) {
+        let is_outlier = !record.ok
+            || (self.slow_threshold_ns > 0 && record.duration_ns() >= self.slow_threshold_ns);
+        let mut guard = self.shards[shard].lock().expect("recorder shard lock");
+        guard.recent.push_copy(record);
+        if is_outlier {
+            guard.outliers.push_copy(record);
+        }
+    }
+
+    /// Returns up to `last` of the most recent timelines (newest first,
+    /// ordered by end time), followed by any retained outliers that did not
+    /// make the recency cut. Cold path: clones freely.
+    pub fn recent(&self, last: usize) -> Vec<TraceRecord> {
+        let mut fresh: Vec<TraceRecord> = Vec::new();
+        let mut outliers: Vec<TraceRecord> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock().expect("recorder shard lock");
+            fresh.extend(guard.recent.live().iter().cloned());
+            outliers.extend(guard.outliers.live().iter().cloned());
+        }
+        fresh.sort_by(|a, b| b.end_ns.cmp(&a.end_ns).then(b.trace_id.cmp(&a.trace_id)));
+        fresh.truncate(last);
+        outliers.sort_by(|a, b| b.end_ns.cmp(&a.end_ns).then(b.trace_id.cmp(&a.trace_id)));
+        for outlier in outliers {
+            if !fresh.iter().any(|t| t.trace_id == outlier.trace_id) {
+                fresh.push(outlier);
+            }
+        }
+        fresh
+    }
+
+    /// Looks up one timeline by trace id across all shards (recent rings
+    /// first, then outliers).
+    pub fn find(&self, trace_id: u64) -> Option<TraceRecord> {
+        for shard in &self.shards {
+            let guard = shard.lock().expect("recorder shard lock");
+            if let Some(t) = guard
+                .recent
+                .live()
+                .iter()
+                .chain(guard.outliers.live().iter())
+                .find(|t| t.trace_id == trace_id)
+            {
+                return Some(t.clone());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{KernelPath, Span, Stage};
+
+    fn record(trace_id: u64, end_ns: u64, ok: bool) -> TraceRecord {
+        TraceRecord {
+            trace_id,
+            end_ns,
+            start_ns: end_ns.saturating_sub(1_000),
+            ok,
+            backend: "scalar",
+            spans: vec![Span {
+                stage: Stage::QueueWait,
+                layer: None,
+                start_ns: end_ns.saturating_sub(1_000),
+                end_ns,
+                kernel: KernelPath::None,
+                density: 0.0,
+            }],
+            ..TraceRecord::default()
+        }
+    }
+
+    #[test]
+    fn recent_returns_newest_first_and_respects_the_cap() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            shards: 2,
+            recent_capacity: 8,
+            outlier_capacity: 4,
+            slow_threshold_ns: 0,
+        });
+        for i in 0..10u64 {
+            rec.record((i % 2) as usize, &record(i, i * 100, true));
+        }
+        let got = rec.recent(4);
+        assert_eq!(got.len(), 4);
+        let ids: Vec<u64> = got.iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn ring_eviction_keeps_only_the_last_capacity_entries() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            shards: 1,
+            recent_capacity: 3,
+            outlier_capacity: 0,
+            slow_threshold_ns: 0,
+        });
+        for i in 0..7u64 {
+            rec.record(0, &record(i, i, true));
+        }
+        let got = rec.recent(10);
+        let ids: Vec<u64> = got.iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![6, 5, 4]);
+        assert!(rec.find(3).is_none());
+        assert_eq!(rec.find(6).unwrap().trace_id, 6);
+    }
+
+    #[test]
+    fn failed_and_slow_requests_survive_as_outliers() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            shards: 1,
+            recent_capacity: 2,
+            outlier_capacity: 4,
+            slow_threshold_ns: 1_500,
+        });
+        // A failure and a slow success, then enough healthy (1 µs) traffic
+        // to evict both from the recent ring.
+        rec.record(0, &record(100, 10, false));
+        let mut slow = record(101, 2_000, true);
+        slow.start_ns = 0; // 2 µs long >= 1.5 µs threshold
+        rec.record(0, &slow);
+        for i in 0..5u64 {
+            rec.record(0, &record(i, 10_000 + i, true));
+        }
+        let got = rec.recent(2);
+        let ids: Vec<u64> = got.iter().map(|t| t.trace_id).collect();
+        assert_eq!(&ids[..2], &[4, 3], "recency cut");
+        assert!(ids.contains(&100), "failed outlier retained: {ids:?}");
+        assert!(ids.contains(&101), "slow outlier retained: {ids:?}");
+    }
+
+    #[test]
+    fn spans_survive_the_copy_into_the_ring() {
+        let rec = FlightRecorder::new(RecorderConfig::default());
+        rec.record(0, &record(1, 1_000, true));
+        let got = rec.find(1).unwrap();
+        assert_eq!(got.spans.len(), 1);
+        assert_eq!(got.spans[0].stage, Stage::QueueWait);
+        assert_eq!(got.backend, "scalar");
+    }
+}

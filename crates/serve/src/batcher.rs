@@ -37,8 +37,9 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use nrsnn_obs::{KernelPath, Span, Stage, TraceRecord};
 use nrsnn_runtime::{derive_seed, ParallelConfig};
-use nrsnn_snn::{BatchOutcome, SimWorkspace};
+use nrsnn_snn::{BatchOutcome, SimStage, SimWorkspace};
 use nrsnn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +65,13 @@ pub struct ServerConfig {
     /// Bound of the submission queue; a submit against a full queue is
     /// rejected with [`ServeError::Busy`].
     pub queue_capacity: usize,
+    /// Whether per-request tracing is enabled: stage spans from the
+    /// simulation engine, trace ids in replies, and timelines in the
+    /// flight recorder (queryable via the `trace` request).  On by default
+    /// — the `obs_overhead` bench gates the cost at ≤2% of throughput —
+    /// and guaranteed not to change any reply bit (tracing reads clocks,
+    /// never the RNG stream).
+    pub tracing: bool,
 }
 
 impl ServerConfig {
@@ -116,6 +124,7 @@ impl Default for ServerConfig {
             max_batch: 8,
             batch_window: Duration::ZERO,
             queue_capacity: 256,
+            tracing: true,
         }
     }
 }
@@ -182,6 +191,9 @@ pub(crate) struct PendingRequest {
     seed: u64,
     input: Vec<f32>,
     enqueued: Instant,
+    /// Server-unique trace id assigned at admission (0 when tracing is
+    /// off); echoed in the reply and keying the flight-recorder timeline.
+    trace_id: u64,
     slot: Arc<ResponseSlot>,
     /// Kept so the [`Drop`] safety net can account for a stranded request;
     /// deliberately an `Arc<Metrics>` rather than the whole core to avoid
@@ -226,8 +238,8 @@ impl ServerCore {
     pub(crate) fn new(registry: ModelRegistry, config: ServerConfig) -> ServerCore {
         ServerCore {
             registry,
+            metrics: Arc::new(Metrics::new(config.effective_workers(), config.tracing)),
             config,
-            metrics: Arc::new(Metrics::default()),
             state: Mutex::new(QueueState::default()),
             not_empty: Condvar::new(),
         }
@@ -284,6 +296,13 @@ impl ServerCore {
                 seed,
                 input,
                 enqueued: Instant::now(),
+                // Admitted requests get their trace id here, so the queue
+                // wait is part of the recorded timeline from the start.
+                trace_id: if self.config.tracing {
+                    self.metrics.next_trace_id()
+                } else {
+                    0
+                },
                 slot: Arc::clone(&slot),
                 metrics: Arc::clone(&self.metrics),
             });
@@ -313,14 +332,25 @@ impl ServerCore {
 }
 
 /// Per-worker reusable buffers: the simulation workspace, the flat input
-/// staging buffer, the claimed-batch list and the skipped-requests deque
-/// used while claiming.  None of them carry values that influence results.
+/// staging buffer, the claimed-batch list, the skipped-requests deque used
+/// while claiming, and the trace-record staging slot spans are assembled
+/// into before being copied into the flight recorder.  None of them carry
+/// values that influence results.
 #[derive(Default)]
 struct WorkerScratch {
     ws: SimWorkspace,
     flat: Vec<f32>,
     batch: Vec<PendingRequest>,
     skipped: VecDeque<PendingRequest>,
+    trace: TraceRecord,
+}
+
+impl WorkerScratch {
+    fn for_core(core: &ServerCore) -> WorkerScratch {
+        let mut scratch = WorkerScratch::default();
+        scratch.ws.set_stage_tracing(core.config.tracing);
+        scratch
+    }
 }
 
 /// Removes every queued request for `model` (in arrival order) into
@@ -361,8 +391,8 @@ fn drain_same_model(
 /// failed with [`ServeError::Internal`], the worker's scratch is rebuilt,
 /// and the worker keeps serving — a dead worker would otherwise leave
 /// queued requests unanswered forever once the last worker is gone.
-pub(crate) fn worker_loop(core: &ServerCore) {
-    let mut scratch = WorkerScratch::default();
+pub(crate) fn worker_loop(core: &ServerCore, worker: usize) {
+    let mut scratch = WorkerScratch::for_core(core);
     loop {
         {
             let mut state = core.state.lock().expect("queue lock");
@@ -411,19 +441,25 @@ pub(crate) fn worker_loop(core: &ServerCore) {
                 }
             }
         }
+        // The batch is sealed the moment the claim loop releases the queue
+        // lock: everything before this instant is the requests' queue wait,
+        // everything between it and a request's own simulation is its
+        // batch-assembly share.
+        let sealed = Instant::now();
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_batch(core, &mut scratch)
+            run_batch(core, worker, sealed, &mut scratch)
         }));
         if executed.is_err() {
             fail_batch(
                 &scratch.batch,
                 &ServeError::Internal("batch execution panicked".to_string()),
                 &core.metrics,
+                Some(worker),
             );
             // The panic may have left the scratch buffers in an arbitrary
             // state; rebuild them (results never depend on scratch content,
             // this only re-pays the warm-up cost once).
-            scratch = WorkerScratch::default();
+            scratch = WorkerScratch::for_core(core);
         }
     }
 }
@@ -431,29 +467,69 @@ pub(crate) fn worker_loop(core: &ServerCore) {
 /// Fails every not-yet-fulfilled request of the batch with `error`,
 /// counting only the requests this call actually failed (fulfil is
 /// first-write-wins, so already-answered requests are not re-counted).
-fn fail_batch(batch: &[PendingRequest], error: &ServeError, metrics: &Metrics) {
+///
+/// When a worker context is known and tracing is on, each failed request
+/// also leaves a span-less `ok: false` timeline in the flight recorder —
+/// failures are exactly the requests the outlier ring exists for.  (The
+/// worker-less caller is the [`PendingRequest`] drop safety net, which has
+/// no recorder shard to write into.)
+fn fail_batch(
+    batch: &[PendingRequest],
+    error: &ServeError,
+    metrics: &Metrics,
+    worker: Option<usize>,
+) {
     for request in batch {
         if request.slot.fulfill(Err(error.clone())) {
             metrics.record_failed(1);
+            if let Some(worker) = worker {
+                if metrics.tracing() && request.trace_id != 0 {
+                    let start_ns = metrics.ns_since_epoch(request.enqueued);
+                    metrics.record_trace(
+                        worker,
+                        &TraceRecord {
+                            trace_id: request.trace_id,
+                            model: request.model as u32,
+                            seed: request.seed,
+                            worker: worker as u32,
+                            start_ns,
+                            end_ns: metrics.ns_since_epoch(Instant::now()),
+                            ok: false,
+                            backend: nrsnn_tensor::simd::active_backend().name(),
+                            spans: Vec::new(),
+                            dropped_spans: 0,
+                        },
+                    );
+                }
+            }
         }
     }
 }
 
 /// Executes one claimed batch through the worker's workspace and fulfils
 /// every request slot.
-fn run_batch(core: &ServerCore, scratch: &mut WorkerScratch) {
+///
+/// With tracing on, each request's reply carries its trace id and its full
+/// timeline is assembled here — queue wait (enqueue → `sealed`), batch
+/// assembly (`sealed` → the request's own simulation starting, which
+/// includes the simulation time of earlier batch companions), the
+/// simulation engine's per-layer stage events, and reply serialization —
+/// and copied into the flight recorder **before** the slot is fulfilled,
+/// so any client holding a reply can already resolve its trace id.
+fn run_batch(core: &ServerCore, worker: usize, sealed: Instant, scratch: &mut WorkerScratch) {
     let WorkerScratch {
         ws,
         flat,
         batch,
         skipped: _,
+        trace,
     } = scratch;
     if batch.is_empty() {
         return;
     }
     let model = core.registry.model(batch[0].model);
     let size = batch.len();
-    core.metrics.record_batch(size);
+    core.metrics.record_batch(worker, size);
 
     let width = model.input_width();
     flat.clear();
@@ -464,12 +540,19 @@ fn run_batch(core: &ServerCore, scratch: &mut WorkerScratch) {
     let inputs = match Tensor::from_vec(std::mem::take(flat), &[size, width]) {
         Ok(tensor) => tensor,
         Err(e) => {
-            fail_batch(batch, &ServeError::Simulation(e.to_string()), &core.metrics);
+            fail_batch(
+                batch,
+                &ServeError::Simulation(e.to_string()),
+                &core.metrics,
+                Some(worker),
+            );
             batch.clear();
             return;
         }
     };
 
+    let tracing = core.config.tracing;
+    let backend = nrsnn_tensor::simd::active_backend().name();
     let result = model.network.simulate_batch_each(
         &inputs,
         0..size,
@@ -482,14 +565,102 @@ fn run_batch(core: &ServerCore, scratch: &mut WorkerScratch) {
             let request = &batch[sample];
             let latency_us = request.enqueued.elapsed().as_micros() as u64;
             core.metrics
-                .record_served(latency_us, outcome.total_spikes as u64);
-            request.slot.fulfill(Ok(InferenceReply {
-                model: model.name.clone(),
-                predicted: outcome.predicted,
-                logits: ws.logits().to_vec(),
-                total_spikes: outcome.total_spikes,
-                latency_us,
-            }));
+                .record_served(worker, latency_us, outcome.total_spikes as u64);
+            if tracing {
+                // Open the timeline: queue wait, batch assembly, then the
+                // engine's stage events mapped onto the span taxonomy.
+                let ns = |at: Instant| core.metrics.ns_since_epoch(at);
+                let enqueued_ns = ns(request.enqueued);
+                let sealed_ns = ns(sealed);
+                let events = ws.stage_events();
+                let own_start_ns = events.first().map_or(sealed_ns, |e| ns(e.start));
+                trace.trace_id = request.trace_id;
+                trace.model = request.model as u32;
+                trace.seed = request.seed;
+                trace.worker = worker as u32;
+                trace.start_ns = enqueued_ns;
+                trace.ok = true;
+                trace.backend = backend;
+                trace.dropped_spans = 0;
+                trace.spans.clear();
+                trace.spans.push(Span {
+                    stage: Stage::QueueWait,
+                    layer: None,
+                    start_ns: enqueued_ns,
+                    end_ns: sealed_ns,
+                    kernel: KernelPath::None,
+                    density: 0.0,
+                });
+                trace.spans.push(Span {
+                    stage: Stage::BatchAssembly,
+                    layer: None,
+                    start_ns: sealed_ns,
+                    end_ns: own_start_ns,
+                    kernel: KernelPath::None,
+                    density: 0.0,
+                });
+                let mut sim_end_ns = own_start_ns;
+                for event in events {
+                    let (stage, kernel) = match event.stage {
+                        SimStage::Encode => (Stage::Encode, KernelPath::None),
+                        SimStage::Noise => (Stage::Noise, KernelPath::None),
+                        SimStage::Decode => (Stage::Decode, KernelPath::None),
+                        SimStage::Forward => (
+                            Stage::Simulate,
+                            if event.sparse {
+                                KernelPath::Sparse
+                            } else {
+                                KernelPath::Dense
+                            },
+                        ),
+                    };
+                    sim_end_ns = ns(event.end);
+                    trace.spans.push(Span {
+                        stage,
+                        layer: Some(event.layer),
+                        start_ns: ns(event.start),
+                        end_ns: sim_end_ns,
+                        kernel,
+                        density: event.density,
+                    });
+                }
+                // Build the reply inside the reply-serialization span, then
+                // record the finished timeline *before* fulfilling the slot:
+                // a client holding the reply can already resolve its trace.
+                let reply = InferenceReply {
+                    model: model.name.clone(),
+                    predicted: outcome.predicted,
+                    logits: ws.logits().to_vec(),
+                    total_spikes: outcome.total_spikes,
+                    latency_us,
+                    trace_id: request.trace_id,
+                };
+                let done_ns = ns(Instant::now());
+                trace.spans.push(Span {
+                    stage: Stage::ReplySerialize,
+                    layer: None,
+                    start_ns: sim_end_ns,
+                    end_ns: done_ns,
+                    kernel: KernelPath::None,
+                    density: 0.0,
+                });
+                trace.end_ns = done_ns;
+                for span in &trace.spans {
+                    core.metrics
+                        .record_stage(worker, span.stage, span.duration_ns());
+                }
+                core.metrics.record_trace(worker, trace);
+                request.slot.fulfill(Ok(reply));
+            } else {
+                request.slot.fulfill(Ok(InferenceReply {
+                    model: model.name.clone(),
+                    predicted: outcome.predicted,
+                    logits: ws.logits().to_vec(),
+                    total_spikes: outcome.total_spikes,
+                    latency_us,
+                    trace_id: 0,
+                }));
+            }
         },
     );
     // Reclaim the staging buffer's capacity for the next batch.
@@ -499,7 +670,7 @@ fn run_batch(core: &ServerCore, scratch: &mut WorkerScratch) {
         // simulate_batch_each validates before simulating, so a failure here
         // fails the whole batch: no slot has been fulfilled yet (and fulfil
         // is first-write-wins in any case).
-        fail_batch(batch, &ServeError::from(e), &core.metrics);
+        fail_batch(batch, &ServeError::from(e), &core.metrics, Some(worker));
     }
     batch.clear();
 }
@@ -635,6 +806,7 @@ mod tests {
             seed,
             input: vec![],
             enqueued: Instant::now(),
+            trace_id: 0,
             slot: slot(),
             metrics: Arc::new(Metrics::default()),
         };
@@ -668,7 +840,7 @@ mod tests {
         core.begin_shutdown();
         let worker = {
             let core = Arc::clone(&core);
-            std::thread::spawn(move || worker_loop(&core))
+            std::thread::spawn(move || worker_loop(&core, 0))
         };
         worker.join().unwrap();
         for slot in slots {
@@ -694,6 +866,7 @@ mod tests {
             seed: 1,
             input: vec![0.5, 0.5],
             enqueued: Instant::now(),
+            trace_id: 0,
             slot: Arc::clone(&slot),
             metrics: Arc::clone(&metrics),
         };
@@ -714,6 +887,7 @@ mod tests {
             logits: vec![],
             total_spikes: 0,
             latency_us: 0,
+            trace_id: 0,
         }));
         assert!(matches!(slot.wait(), Err(ServeError::ShuttingDown)));
     }

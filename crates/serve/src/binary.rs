@@ -9,9 +9,14 @@
 //! function of model, input and seed — never of the wire format that
 //! carried it.
 
-use nrsnn_wire::{Frame, LayerDesc, ModelRecord, NoiseDesc, StatsBody};
+use nrsnn_obs::{KernelPath, Stage};
+use nrsnn_wire::{
+    Frame, LayerDesc, ModelRecord, NoiseDesc, StageLatencyBody, StatsBody, TraceBody,
+    TraceSpanBody, TRACE_NO_LAYER,
+};
 
-use crate::protocol::{InferenceReply, Request, Response};
+use crate::metrics::StageLatency;
+use crate::protocol::{InferenceReply, Request, RequestTrace, Response, TraceSpan};
 use crate::{LayerSpec, ModelSpec, NoiseSpec, ServeError, ServerStats};
 
 /// Converts a client request into its wire frame.
@@ -25,6 +30,9 @@ pub fn request_to_frame(request: &Request) -> Frame {
         Request::Stats => Frame::StatsRequest,
         Request::ListModels => Frame::ListModelsRequest,
         Request::Ping => Frame::PingRequest,
+        Request::Trace { last } => Frame::TraceRequest {
+            last: u32::try_from(*last).unwrap_or(u32::MAX),
+        },
     }
 }
 
@@ -39,6 +47,9 @@ pub fn frame_to_request(frame: Frame) -> crate::Result<Request> {
         Frame::StatsRequest => Ok(Request::Stats),
         Frame::ListModelsRequest => Ok(Request::ListModels),
         Frame::PingRequest => Ok(Request::Ping),
+        Frame::TraceRequest { last } => Ok(Request::Trace {
+            last: last as usize,
+        }),
         other => Err(ServeError::InvalidRequest(format!(
             "expected a request frame, got tag 0x{:02X}",
             other.tag()
@@ -55,10 +66,12 @@ pub fn response_to_frame(response: &Response) -> Frame {
             logits: reply.logits.clone(),
             total_spikes: reply.total_spikes as u64,
             latency_us: reply.latency_us,
+            trace_id: reply.trace_id,
         },
         Response::Stats(stats) => Frame::StatsReply(stats_to_body(stats)),
         Response::Models(models) => Frame::ModelsReply(models.clone()),
         Response::Pong => Frame::PongReply,
+        Response::Trace(traces) => Frame::TraceReply(traces.iter().map(trace_to_body).collect()),
         Response::Error { code, message } => Frame::ErrorReply {
             code: code.clone(),
             message: message.clone(),
@@ -84,16 +97,21 @@ pub fn frame_to_response(frame: Frame) -> crate::Result<Response> {
             logits,
             total_spikes,
             latency_us,
+            trace_id,
         } => Ok(Response::Infer(InferenceReply {
             model,
             predicted: narrow(predicted, "predicted index")?,
             logits,
             total_spikes: narrow(total_spikes, "spike count")?,
             latency_us,
+            trace_id,
         })),
         Frame::StatsReply(body) => Ok(Response::Stats(body_to_stats(body))),
         Frame::ModelsReply(models) => Ok(Response::Models(models)),
         Frame::PongReply => Ok(Response::Pong),
+        Frame::TraceReply(traces) => Ok(Response::Trace(
+            traces.into_iter().map(body_to_trace).collect(),
+        )),
         Frame::ErrorReply { code, message } => Ok(Response::Error { code, message }),
         other => Err(ServeError::Io(format!(
             "expected a reply frame, got tag 0x{:02X}",
@@ -117,6 +135,17 @@ pub fn stats_to_body(stats: &ServerStats) -> StatsBody {
         mean_latency_us: stats.mean_latency_us,
         total_spikes: stats.total_spikes,
         spikes_per_inference: stats.spikes_per_inference,
+        batch_size_offset: stats.batch_size_offset,
+        p999_latency_us: stats.p999_latency_us,
+        stage_latency_ns: stats
+            .stage_latency_ns
+            .iter()
+            .map(|entry| StageLatencyBody {
+                stage: entry.stage.clone(),
+                p50_ns: entry.p50_ns,
+                p99_ns: entry.p99_ns,
+            })
+            .collect(),
     }
 }
 
@@ -135,6 +164,81 @@ pub fn body_to_stats(body: StatsBody) -> ServerStats {
         mean_latency_us: body.mean_latency_us,
         total_spikes: body.total_spikes,
         spikes_per_inference: body.spikes_per_inference,
+        batch_size_offset: body.batch_size_offset,
+        p999_latency_us: body.p999_latency_us,
+        stage_latency_ns: body
+            .stage_latency_ns
+            .into_iter()
+            .map(|entry| StageLatency {
+                stage: entry.stage,
+                p50_ns: entry.p50_ns,
+                p99_ns: entry.p99_ns,
+            })
+            .collect(),
+    }
+}
+
+/// Mirrors one recorded timeline onto the wire.  Stage and kernel names
+/// compress to the `nrsnn-obs` taxonomy codes; a name outside the taxonomy
+/// (which cannot be produced by this server) maps to an out-of-range code
+/// and resurfaces as an empty stage name on decode.
+pub fn trace_to_body(trace: &RequestTrace) -> TraceBody {
+    TraceBody {
+        trace_id: trace.trace_id,
+        model: trace.model.clone(),
+        seed: trace.seed,
+        worker: trace.worker,
+        start_ns: trace.start_ns,
+        end_ns: trace.end_ns,
+        ok: trace.ok,
+        backend: trace.backend.clone(),
+        spans: trace
+            .spans
+            .iter()
+            .map(|span| TraceSpanBody {
+                stage: Stage::from_name(&span.stage).map_or(u8::MAX, |s| s.code()),
+                layer: span.layer.unwrap_or(TRACE_NO_LAYER),
+                start_ns: span.start_ns,
+                end_ns: span.end_ns,
+                kernel: match span.kernel.as_deref() {
+                    Some("sparse") => KernelPath::Sparse.code(),
+                    Some("dense") => KernelPath::Dense.code(),
+                    _ => KernelPath::None.code(),
+                },
+                density: span.density,
+            })
+            .collect(),
+        dropped_spans: trace.dropped_spans,
+    }
+}
+
+/// Reconstructs one recorded timeline from the wire.
+pub fn body_to_trace(body: TraceBody) -> RequestTrace {
+    RequestTrace {
+        trace_id: body.trace_id,
+        model: body.model,
+        seed: body.seed,
+        worker: body.worker,
+        start_ns: body.start_ns,
+        end_ns: body.end_ns,
+        ok: body.ok,
+        backend: body.backend,
+        spans: body
+            .spans
+            .into_iter()
+            .map(|span| TraceSpan {
+                stage: Stage::from_code(span.stage)
+                    .map_or_else(String::new, |s| s.as_str().to_string()),
+                layer: (span.layer != TRACE_NO_LAYER).then_some(span.layer),
+                start_ns: span.start_ns,
+                end_ns: span.end_ns,
+                kernel: KernelPath::from_code(span.kernel)
+                    .and_then(|k| k.as_str())
+                    .map(str::to_string),
+                density: span.density,
+            })
+            .collect(),
+        dropped_spans: body.dropped_spans,
     }
 }
 
@@ -298,6 +402,7 @@ mod tests {
             Request::Stats,
             Request::ListModels,
             Request::Ping,
+            Request::Trace { last: 8 },
         ];
         for request in requests {
             let back = frame_to_request(request_to_frame(&request)).unwrap();
@@ -310,9 +415,39 @@ mod tests {
                 logits: vec![-0.0, f32::MIN_POSITIVE / 2.0],
                 total_spikes: 77,
                 latency_us: 901,
+                trace_id: u64::MAX - 9,
             }),
             Response::Models(vec!["a".to_string()]),
             Response::Pong,
+            Response::Trace(vec![RequestTrace {
+                trace_id: 5,
+                model: "m".to_string(),
+                seed: u64::MAX - 2,
+                worker: 1,
+                start_ns: 100,
+                end_ns: 9_100,
+                ok: true,
+                backend: "avx2".to_string(),
+                spans: vec![
+                    TraceSpan {
+                        stage: "queue_wait".to_string(),
+                        layer: None,
+                        start_ns: 100,
+                        end_ns: 900,
+                        kernel: None,
+                        density: 0.0,
+                    },
+                    TraceSpan {
+                        stage: "simulate".to_string(),
+                        layer: Some(2),
+                        start_ns: 900,
+                        end_ns: 9_100,
+                        kernel: Some("dense".to_string()),
+                        density: 0.75,
+                    },
+                ],
+                dropped_spans: 0,
+            }]),
             Response::Error {
                 code: "busy".to_string(),
                 message: "server busy".to_string(),
@@ -339,8 +474,42 @@ mod tests {
             mean_latency_us: 11.25,
             total_spikes: 12,
             spikes_per_inference: 13.5,
+            batch_size_offset: 14,
+            p999_latency_us: 15,
+            stage_latency_ns: vec![StageLatency {
+                stage: "encode".to_string(),
+                p50_ns: 16,
+                p99_ns: 17,
+            }],
         };
         assert_eq!(body_to_stats(stats_to_body(&stats)), stats);
+    }
+
+    #[test]
+    fn every_stage_and_kernel_name_survives_the_code_mapping() {
+        for stage in Stage::ALL {
+            let span = TraceSpan {
+                stage: stage.as_str().to_string(),
+                layer: Some(0),
+                start_ns: 0,
+                end_ns: 1,
+                kernel: Some("sparse".to_string()),
+                density: 0.5,
+            };
+            let trace = RequestTrace {
+                trace_id: 1,
+                model: "m".to_string(),
+                seed: 0,
+                worker: 0,
+                start_ns: 0,
+                end_ns: 1,
+                ok: false,
+                backend: "scalar".to_string(),
+                spans: vec![span],
+                dropped_spans: 3,
+            };
+            assert_eq!(body_to_trace(trace_to_body(&trace)), trace);
+        }
     }
 
     #[test]

@@ -23,8 +23,13 @@
 //!   [`std::net::TcpListener`] endpoint speaking newline-delimited JSON
 //!   ([`protocol`]), with graceful [`Server::shutdown`];
 //! * **metrics** — [`ServerStats`] (requests served, batch-size histogram,
-//!   p50/p99 latency, spikes per inference) via [`Client::stats`] or the
-//!   wire-level `stats` request.
+//!   p50/p99/p999 latency, per-stage latency, spikes per inference) via
+//!   [`Client::stats`] or the wire-level `stats` request, aggregated from
+//!   per-worker sharded sinks only at snapshot time;
+//! * **tracing** — every reply carries a trace id resolving to a per-stage
+//!   timeline ([`RequestTrace`]) in a preallocated flight recorder, fetched
+//!   via [`Client::trace`] or the wire-level `trace` request (slow and
+//!   failed requests are retained as outliers).
 //!
 //! ## Determinism contract
 //!
@@ -83,9 +88,9 @@ mod server;
 
 pub use batcher::ServerConfig;
 pub use error::ServeError;
-pub use metrics::ServerStats;
+pub use metrics::{ServerStats, StageLatency};
 pub use model::{LayerSpec, ModelSpec, NoiseSpec, ServedModel};
-pub use protocol::{InferenceReply, Request, Response};
+pub use protocol::{InferenceReply, Request, RequestTrace, Response, TraceSpan};
 pub use registry::ModelRegistry;
 pub use server::{Client, Server, TcpClient, RETRY_BUDGET};
 

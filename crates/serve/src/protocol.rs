@@ -12,6 +12,8 @@
 //! <- {"type":"models","models":["fig7"]}
 //! -> {"type":"ping"}
 //! <- {"type":"pong"}
+//! -> {"type":"trace","last":16}
+//! <- {"type":"trace","traces":[{"trace_id":"7","spans":[...],...}]}
 //! <- {"type":"error","code":"busy","message":"server busy: ..."}
 //! ```
 //!
@@ -76,6 +78,12 @@ pub enum Request {
     ListModels,
     /// Liveness probe.
     Ping,
+    /// Fetch the most recent request timelines from the flight recorder.
+    Trace {
+        /// Maximum number of recent timelines to return (retained outliers
+        /// — failed or slow requests — ride along on top of this budget).
+        last: usize,
+    },
 }
 
 impl Serialize for Request {
@@ -92,6 +100,10 @@ impl Serialize for Request {
                 Value::Object(vec![("type".to_string(), "list_models".to_value())])
             }
             Request::Ping => Value::Object(vec![("type".to_string(), "ping".to_value())]),
+            Request::Trace { last } => Value::Object(vec![
+                ("type".to_string(), "trace".to_value()),
+                ("last".to_string(), last.to_value()),
+            ]),
         }
     }
 }
@@ -121,6 +133,13 @@ impl Deserialize for Request {
             "stats" => Ok(Request::Stats),
             "list_models" => Ok(Request::ListModels),
             "ping" => Ok(Request::Ping),
+            "trace" => {
+                let last = match value.get("last") {
+                    Some(v) => usize::from_value(v)?,
+                    None => 16,
+                };
+                Ok(Request::Trace { last })
+            }
             other => Err(DeError::new(format!("unknown request type {other:?}"))),
         }
     }
@@ -141,6 +160,11 @@ pub struct InferenceReply {
     /// End-to-end latency observed by the server (queue + batch wait +
     /// simulation), in microseconds.
     pub latency_us: u64,
+    /// Server-unique id of this request's recorded timeline; resolve it
+    /// with a `trace` request.  `0` means tracing was disabled.  Like
+    /// `latency_us`, this is observability metadata and not part of the
+    /// deterministic reply contract.
+    pub trace_id: u64,
 }
 
 impl Serialize for InferenceReply {
@@ -152,6 +176,9 @@ impl Serialize for InferenceReply {
             ("logits".to_string(), self.logits.to_value()),
             ("total_spikes".to_string(), self.total_spikes.to_value()),
             ("latency_us".to_string(), self.latency_us.to_value()),
+            // Encoded like seeds: trace ids are u64 counters and must not
+            // be rounded through an IEEE double.
+            ("trace_id".to_string(), seed_to_value(self.trace_id)),
         ])
     }
 }
@@ -169,6 +196,149 @@ impl Deserialize for InferenceReply {
             logits: Vec::<f32>::from_value(field("logits")?)?,
             total_spikes: usize::from_value(field("total_spikes")?)?,
             latency_us: u64::from_value(field("latency_us")?)?,
+            // Absent in pre-observability replies: default to "no trace".
+            trace_id: match value.get("trace_id") {
+                Some(v) => seed_from_value(v)?,
+                None => 0,
+            },
+        })
+    }
+}
+
+/// One stage of a recorded request timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Stage name (`queue_wait`, `batch_assembly`, `encode`, `noise`,
+    /// `decode`, `simulate`, `reply_serialize`).
+    pub stage: String,
+    /// Network layer the stage ran on, when the stage is per-layer.
+    pub layer: Option<u32>,
+    /// Start of the span, nanoseconds since the server's monotonic epoch.
+    pub start_ns: u64,
+    /// End of the span, nanoseconds since the server's monotonic epoch.
+    pub end_ns: u64,
+    /// Kernel path taken by a `simulate` span (`"dense"` or `"sparse"`).
+    pub kernel: Option<String>,
+    /// Measured raster density that drove the kernel choice (0 for stages
+    /// where density is not meaningful).
+    pub density: f32,
+}
+
+impl Serialize for TraceSpan {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("stage".to_string(), self.stage.to_value()),
+            ("start_ns".to_string(), seed_to_value(self.start_ns)),
+            ("end_ns".to_string(), seed_to_value(self.end_ns)),
+        ];
+        if let Some(layer) = self.layer {
+            fields.push(("layer".to_string(), layer.to_value()));
+        }
+        if let Some(kernel) = &self.kernel {
+            fields.push(("kernel".to_string(), kernel.to_value()));
+            fields.push(("density".to_string(), self.density.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for TraceSpan {
+    fn from_value(value: &Value) -> std::result::Result<Self, DeError> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| DeError::new(format!("trace span missing field {key:?}")))
+        };
+        Ok(TraceSpan {
+            stage: String::from_value(field("stage")?)?,
+            layer: match value.get("layer") {
+                Some(v) => Some(u32::from_value(v)?),
+                None => None,
+            },
+            start_ns: seed_from_value(field("start_ns")?)?,
+            end_ns: seed_from_value(field("end_ns")?)?,
+            kernel: match value.get("kernel") {
+                Some(v) => Some(String::from_value(v)?),
+                None => None,
+            },
+            density: match value.get("density") {
+                Some(v) => f32::from_value(v)?,
+                None => 0.0,
+            },
+        })
+    }
+}
+
+/// One request's full recorded timeline, as returned by a `trace` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Server-unique id echoed in the request's inference reply.
+    pub trace_id: u64,
+    /// Name of the model that served the request.
+    pub model: String,
+    /// The request's seed.
+    pub seed: u64,
+    /// Index of the batcher worker that ran the request.
+    pub worker: u32,
+    /// Request admission time, nanoseconds since the server's monotonic
+    /// epoch.
+    pub start_ns: u64,
+    /// Reply-ready time, nanoseconds since the server's monotonic epoch.
+    pub end_ns: u64,
+    /// Whether the request succeeded (failed requests are retained as
+    /// outliers with an empty span list).
+    pub ok: bool,
+    /// SIMD backend active on the worker (`scalar`, `sse2`, `avx2`).
+    pub backend: String,
+    /// Per-stage breakdown tiling `start_ns..end_ns`.
+    pub spans: Vec<TraceSpan>,
+    /// Spans discarded because the preallocated span buffer was full
+    /// (always 0 with the current fixed taxonomy).
+    pub dropped_spans: u32,
+}
+
+impl RequestTrace {
+    /// End-to-end duration of the request in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+impl Serialize for RequestTrace {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("trace_id".to_string(), seed_to_value(self.trace_id)),
+            ("model".to_string(), self.model.to_value()),
+            ("seed".to_string(), seed_to_value(self.seed)),
+            ("worker".to_string(), self.worker.to_value()),
+            ("start_ns".to_string(), seed_to_value(self.start_ns)),
+            ("end_ns".to_string(), seed_to_value(self.end_ns)),
+            ("ok".to_string(), self.ok.to_value()),
+            ("backend".to_string(), self.backend.to_value()),
+            ("spans".to_string(), self.spans.to_value()),
+            ("dropped_spans".to_string(), self.dropped_spans.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RequestTrace {
+    fn from_value(value: &Value) -> std::result::Result<Self, DeError> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| DeError::new(format!("request trace missing field {key:?}")))
+        };
+        Ok(RequestTrace {
+            trace_id: seed_from_value(field("trace_id")?)?,
+            model: String::from_value(field("model")?)?,
+            seed: seed_from_value(field("seed")?)?,
+            worker: u32::from_value(field("worker")?)?,
+            start_ns: seed_from_value(field("start_ns")?)?,
+            end_ns: seed_from_value(field("end_ns")?)?,
+            ok: bool::from_value(field("ok")?)?,
+            backend: String::from_value(field("backend")?)?,
+            spans: Vec::<TraceSpan>::from_value(field("spans")?)?,
+            dropped_spans: u32::from_value(field("dropped_spans")?)?,
         })
     }
 }
@@ -184,6 +354,8 @@ pub enum Response {
     Models(Vec<String>),
     /// Liveness answer.
     Pong,
+    /// Recent request timelines from the flight recorder, newest first.
+    Trace(Vec<RequestTrace>),
     /// Any failure, carrying the stable error code and a human-readable
     /// message.
     Error {
@@ -240,6 +412,10 @@ impl Serialize for Response {
                 ("models".to_string(), models.to_value()),
             ]),
             Response::Pong => Value::Object(vec![("type".to_string(), "pong".to_value())]),
+            Response::Trace(traces) => Value::Object(vec![
+                ("type".to_string(), "trace".to_value()),
+                ("traces".to_string(), traces.to_value()),
+            ]),
             Response::Error { code, message } => Value::Object(vec![
                 ("type".to_string(), "error".to_value()),
                 ("code".to_string(), code.to_value()),
@@ -269,6 +445,12 @@ impl Deserialize for Response {
                     .and_then(Vec::<String>::from_value)?,
             )),
             "pong" => Ok(Response::Pong),
+            "trace" => Ok(Response::Trace(
+                value
+                    .get("traces")
+                    .ok_or_else(|| DeError::new("trace response missing \"traces\""))
+                    .and_then(Vec::<RequestTrace>::from_value)?,
+            )),
             "error" => {
                 let field = |key: &str| {
                     value
@@ -352,10 +534,21 @@ mod tests {
 
     #[test]
     fn control_requests_round_trip() {
-        for request in [Request::Stats, Request::ListModels, Request::Ping] {
+        for request in [
+            Request::Stats,
+            Request::ListModels,
+            Request::Ping,
+            Request::Trace { last: 32 },
+        ] {
             let back = decode_request(&encode_line(&request)).unwrap();
             assert_eq!(back, request);
         }
+    }
+
+    #[test]
+    fn trace_request_last_defaults_when_absent() {
+        let back = decode_request(r#"{"type":"trace"}"#).unwrap();
+        assert_eq!(back, Request::Trace { last: 16 });
     }
 
     #[test]
@@ -386,8 +579,9 @@ mod tests {
             logits: logits.clone(),
             total_spikes: 99,
             latency_us: 1234,
+            trace_id: u64::MAX - 3,
         };
-        let back = decode_response(&encode_line(&Response::Infer(reply))).unwrap();
+        let back = decode_response(&encode_line(&Response::Infer(reply.clone()))).unwrap();
         let Response::Infer(reply) = back else {
             panic!("expected infer response");
         };
@@ -395,6 +589,56 @@ mod tests {
         for (a, b) in reply.logits.iter().zip(&logits) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+        // Trace ids survive the wire exactly even above 2^53.
+        assert_eq!(reply.trace_id, u64::MAX - 3);
+    }
+
+    #[test]
+    fn pre_observability_infer_replies_still_decode() {
+        // Replies serialized before trace_id existed must keep decoding,
+        // defaulting to "no trace".
+        let line = r#"{"type":"infer","model":"m","predicted":1,"logits":[0.5],"total_spikes":9,"latency_us":77}"#;
+        let Response::Infer(reply) = decode_response(line).unwrap() else {
+            panic!("expected infer response");
+        };
+        assert_eq!(reply.trace_id, 0);
+        assert_eq!(reply.latency_us, 77);
+    }
+
+    #[test]
+    fn trace_responses_round_trip_with_full_span_detail() {
+        let traces = vec![RequestTrace {
+            trace_id: 42,
+            model: "fig7".to_string(),
+            seed: u64::MAX - 1,
+            worker: 3,
+            start_ns: 1_000,
+            end_ns: 9_000,
+            ok: true,
+            backend: "sse2".to_string(),
+            spans: vec![
+                TraceSpan {
+                    stage: "queue_wait".to_string(),
+                    layer: None,
+                    start_ns: 1_000,
+                    end_ns: 2_000,
+                    kernel: None,
+                    density: 0.0,
+                },
+                TraceSpan {
+                    stage: "simulate".to_string(),
+                    layer: Some(1),
+                    start_ns: 2_000,
+                    end_ns: 9_000,
+                    kernel: Some("sparse".to_string()),
+                    density: 0.125,
+                },
+            ],
+            dropped_spans: 0,
+        }];
+        let response = Response::Trace(traces);
+        let back = decode_response(&encode_line(&response)).unwrap();
+        assert_eq!(back, response);
     }
 
     #[test]

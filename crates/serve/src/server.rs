@@ -32,7 +32,9 @@ use nrsnn_wire::{FrameHeader, FRAME_HEADER_LEN, FRAME_MAGIC};
 
 use crate::batcher::{worker_loop, ServerCore};
 use crate::binary::{frame_to_request, frame_to_response, request_to_frame, response_to_frame};
-use crate::protocol::{decode_request, decode_response, encode_line, Request, Response};
+use crate::protocol::{
+    decode_request, decode_response, encode_line, Request, RequestTrace, Response, TraceSpan,
+};
 use crate::{InferenceReply, ModelRegistry, Result, ServeError, ServerConfig, ServerStats};
 
 /// How often a blocked TCP read re-checks the shutdown flag.
@@ -97,8 +99,8 @@ impl Server {
         let core = Arc::new(ServerCore::new(registry, config));
         let spawned = {
             let core = Arc::clone(&core);
-            WorkerPool::spawn("nrsnn-serve", config.effective_workers(), move |_| {
-                worker_loop(&core)
+            WorkerPool::spawn("nrsnn-serve", config.effective_workers(), move |worker| {
+                worker_loop(&core, worker)
             })
         };
         let workers = match spawned {
@@ -514,6 +516,7 @@ fn process_request(core: &ServerCore, request: Request) -> Response {
         Request::Ping => Response::Pong,
         Request::Stats => Response::Stats(core.metrics.snapshot()),
         Request::ListModels => Response::Models(core.registry.names()),
+        Request::Trace { last } => Response::Trace(fetch_traces(core, last)),
         Request::Infer { model, seed, input } => {
             match core
                 .submit(&model, input, seed)
@@ -524,6 +527,44 @@ fn process_request(core: &ServerCore, request: Request) -> Response {
             }
         }
     }
+}
+
+/// Drains the flight recorder into wire-shaped timelines, resolving model
+/// indices back to registry names (shared by the in-process client and both
+/// wire front-ends).
+fn fetch_traces(core: &ServerCore, last: usize) -> Vec<RequestTrace> {
+    let names = core.registry.names();
+    core.metrics
+        .recorder()
+        .recent(last)
+        .iter()
+        .map(|record| RequestTrace {
+            trace_id: record.trace_id,
+            model: names
+                .get(record.model as usize)
+                .cloned()
+                .unwrap_or_default(),
+            seed: record.seed,
+            worker: record.worker,
+            start_ns: record.start_ns,
+            end_ns: record.end_ns,
+            ok: record.ok,
+            backend: record.backend.to_string(),
+            spans: record
+                .spans
+                .iter()
+                .map(|span| TraceSpan {
+                    stage: span.stage.as_str().to_string(),
+                    layer: span.layer,
+                    start_ns: span.start_ns,
+                    end_ns: span.end_ns,
+                    kernel: span.kernel.as_str().map(str::to_string),
+                    density: span.density,
+                })
+                .collect(),
+            dropped_spans: record.dropped_spans,
+        })
+        .collect()
 }
 
 /// In-process client of a running [`Server`].
@@ -570,6 +611,13 @@ impl Client {
     /// Registered model names.
     pub fn models(&self) -> Vec<String> {
         self.core.registry.names()
+    }
+
+    /// The last `last` request timelines from the flight recorder (newest
+    /// first), plus any retained slow/failed outliers.  Empty when the
+    /// server was started with tracing disabled.
+    pub fn trace(&self, last: usize) -> Vec<RequestTrace> {
+        fetch_traces(&self.core, last)
     }
 }
 
@@ -721,6 +769,20 @@ impl TcpClient {
         match self.request(&Request::Ping)?.into_result()? {
             Response::Pong => Ok(()),
             other => Err(ServeError::Io(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the last `last` request timelines from the server's flight
+    /// recorder (newest first), plus any retained slow/failed outliers.
+    ///
+    /// # Errors
+    /// Transport failures as [`ServeError::Io`].
+    pub fn trace(&mut self, last: usize) -> Result<Vec<RequestTrace>> {
+        match self.request(&Request::Trace { last })?.into_result()? {
+            Response::Trace(traces) => Ok(traces),
+            other => Err(ServeError::Io(format!(
+                "expected a trace response, got {other:?}"
+            ))),
         }
     }
 }

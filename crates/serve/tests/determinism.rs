@@ -134,6 +134,7 @@ fn every_reply_matches_the_offline_reference_for_every_serving_policy() {
                 max_batch,
                 batch_window,
                 queue_capacity: 1024,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -198,6 +199,7 @@ fn probe_request_is_invariant_to_its_batch_companions() {
             max_batch: 6,
             batch_window: Duration::from_micros(300),
             queue_capacity: 1024,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -252,6 +254,7 @@ fn cross_format_matrix_is_bit_identical() {
                 max_batch,
                 batch_window: Duration::from_micros(200),
                 queue_capacity: 1024,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -309,6 +312,98 @@ fn cross_format_matrix_is_bit_identical() {
         let stats = server.stats();
         assert_eq!(stats.requests_served, 3 * requests.len() as u64);
         assert_eq!(stats.failed, 0);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn observability_on_off_or_scraped_never_changes_reply_bits() {
+    // The observability hard constraint: tracing enabled, tracing disabled,
+    // and tracing enabled *while* stats and trace scrapes hammer the
+    // metrics concurrently must all return byte-identical logits — the
+    // clock and recorder never touch the per-request RNG stream.
+    let requests: Vec<(u64, Vec<f32>)> = (0..16).map(|i| (3000 + i, input_for(60 + i))).collect();
+    let references: Vec<(usize, Vec<u32>)> = requests
+        .iter()
+        .map(|(seed, input)| offline_logits(input, *seed))
+        .collect();
+
+    for (tracing, scrape) in [(false, false), (true, false), (true, true)] {
+        let server = Server::start(
+            registry(),
+            ServerConfig {
+                workers: 4,
+                max_batch: 8,
+                batch_window: Duration::from_micros(200),
+                queue_capacity: 1024,
+                tracing,
+            },
+        )
+        .unwrap();
+        let client = server.client();
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let scraper = scrape.then(|| {
+            let client = client.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _ = client.stats();
+                    let _ = client.trace(32);
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        });
+
+        let submitters: Vec<_> = (0..4)
+            .map(|_| {
+                let client = client.clone();
+                let requests = Arc::new(requests.clone());
+                std::thread::spawn(move || {
+                    requests
+                        .iter()
+                        .enumerate()
+                        .map(|(index, (seed, input))| {
+                            (index, client.infer_retrying(MODEL, input, *seed).unwrap())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for thread in submitters {
+            for (index, reply) in thread.join().unwrap() {
+                let (expected_predicted, expected_bits) = &references[index];
+                assert_eq!(
+                    reply.predicted, *expected_predicted,
+                    "tracing={tracing} scrape={scrape} request {index}"
+                );
+                assert_eq!(
+                    logits_bits(&reply.logits),
+                    *expected_bits,
+                    "tracing={tracing} scrape={scrape} request {index}: \
+                     observability changed the reply bits"
+                );
+                // Trace ids are observability metadata, not reply payload —
+                // but they must reflect the config.
+                if tracing {
+                    assert_ne!(reply.trace_id, 0, "tracing on must assign trace ids");
+                } else {
+                    assert_eq!(reply.trace_id, 0, "tracing off must not assign trace ids");
+                }
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(scraper) = scraper {
+            assert!(scraper.join().unwrap() > 0, "scraper never ran");
+        }
+        if !tracing {
+            assert!(
+                client.trace(64).is_empty(),
+                "tracing off must record no timelines"
+            );
+        }
         server.shutdown();
     }
 }

@@ -45,6 +45,7 @@ fn start_server() -> (Server, std::net::SocketAddr) {
             max_batch: 4,
             batch_window: Duration::ZERO,
             queue_capacity: 64,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

@@ -63,7 +63,7 @@ pub use network::{
 };
 pub use neuron::{IfNeuron, IfbNeuron, ResetKind};
 pub use spike::SpikeRaster;
-pub use workspace::{BatchOutcome, SimWorkspace};
+pub use workspace::{BatchOutcome, SimStage, SimWorkspace, StageEvent};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SnnError>;

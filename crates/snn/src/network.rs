@@ -27,6 +27,7 @@
 //! existing callers keep their API and gain the allocation-free inner loop.
 
 use std::ops::Range;
+use std::time::Instant;
 
 use nrsnn_tensor::{
     im2col, im2col_slices, matmul_sparse_into, matmul_sparse_slices, matvec_bias_slices,
@@ -36,8 +37,8 @@ use rand::RngCore;
 
 use crate::workspace::ConvScratch;
 use crate::{
-    BatchOutcome, CodingConfig, CodingScratch, NeuralCoding, Result, SimWorkspace, SnnError,
-    SpikeRaster,
+    BatchOutcome, CodingConfig, CodingScratch, NeuralCoding, Result, SimStage, SimWorkspace,
+    SnnError, SpikeRaster, StageEvent,
 };
 
 /// How the simulation engine chooses between the dense and the
@@ -832,6 +833,17 @@ impl SnnNetwork {
         }
         ws.spikes_per_layer.clear();
         ws.density_per_layer.clear();
+        ws.stage_events.clear();
+        // Stage tracing piggybacks on the phase boundaries: each event ends
+        // where the next begins, so the events tile the simulation exactly
+        // and cost one `Instant::now()` per boundary.  `None` when tracing
+        // is off — the untraced path never reads the clock.  The clock is
+        // not the RNG: timestamps cannot perturb results.
+        let mut mark: Option<Instant> = if ws.trace_enabled {
+            Some(Instant::now())
+        } else {
+            None
+        };
         // Encode the input pixels as the first spike raster.  Pixels are in
         // [0, 1]; the coding clamps to its ceiling.
         encode_vector_into(
@@ -840,6 +852,14 @@ impl SnnNetwork {
             cfg,
             &mut ws.rasters[0],
             &mut ws.encode_scratch,
+        );
+        stage_mark(
+            &mut ws.stage_events,
+            &mut mark,
+            SimStage::Encode,
+            0,
+            false,
+            0.0,
         );
         // Skipping an identity transform is exact: it would neither change
         // the raster nor consume randomness (see SpikeTransform::is_identity).
@@ -852,6 +872,14 @@ impl SnnNetwork {
                 &ws.rasters[index]
             } else {
                 noise.apply_into(&ws.rasters[index], &mut ws.received[index], rng);
+                stage_mark(
+                    &mut ws.stage_events,
+                    &mut mark,
+                    SimStage::Noise,
+                    index as u32,
+                    false,
+                    0.0,
+                );
                 &ws.received[index]
             };
             ws.spikes_per_layer.push(received.total_spikes());
@@ -877,7 +905,16 @@ impl SnnNetwork {
                 active,
                 &mut ws.decode_scratch,
             );
-            if layer.has_weights() && self.sparsity.use_sparse(density) {
+            stage_mark(
+                &mut ws.stage_events,
+                &mut mark,
+                SimStage::Decode,
+                index as u32,
+                false,
+                0.0,
+            );
+            let sparse = layer.has_weights() && self.sparsity.use_sparse(density);
+            if sparse {
                 // Sparse branch: the gather kernels restrict themselves to
                 // the nonzero column set collected during the decode.
                 layer.forward_sparse_into(&ws.decoded, active, &mut ws.conv, &mut ws.activation);
@@ -885,6 +922,14 @@ impl SnnNetwork {
                 // Dense branch: scan every column.
                 layer.forward_analog_into(&ws.decoded, &mut ws.conv, &mut ws.activation);
             }
+            stage_mark(
+                &mut ws.stage_events,
+                &mut mark,
+                SimStage::Forward,
+                index as u32,
+                sparse,
+                density,
+            );
             let is_last = index + 1 == num_layers;
             if !is_last {
                 for v in &mut ws.activation {
@@ -896,6 +941,14 @@ impl SnnNetwork {
                     cfg,
                     &mut ws.rasters[index + 1],
                     &mut ws.encode_scratch,
+                );
+                stage_mark(
+                    &mut ws.stage_events,
+                    &mut mark,
+                    SimStage::Encode,
+                    index as u32 + 1,
+                    false,
+                    0.0,
                 );
             }
         }
@@ -994,6 +1047,33 @@ fn encode_vector_into(
     scratch: &mut CodingScratch,
 ) {
     coding.encode_raster_into(values, cfg, raster, scratch);
+}
+
+/// Closes the current tracing interval at `Instant::now()`, pushing one
+/// [`StageEvent`] and opening the next interval at the same timestamp — so
+/// consecutive events tile the simulation with no gaps.  A no-op (no clock
+/// read, no push) when tracing is disabled (`mark` is `None`).
+#[inline]
+fn stage_mark(
+    events: &mut Vec<StageEvent>,
+    mark: &mut Option<Instant>,
+    stage: SimStage,
+    layer: u32,
+    sparse: bool,
+    density: f32,
+) {
+    if let Some(start) = *mark {
+        let end = Instant::now();
+        events.push(StageEvent {
+            stage,
+            layer,
+            start,
+            end,
+            sparse,
+            density,
+        });
+        *mark = Some(end);
+    }
 }
 
 fn argmax(values: &[f32]) -> usize {
@@ -1253,6 +1333,93 @@ mod tests {
             assert_eq!(outcome, expected[sample].0);
             assert_eq!(logits, expected[sample].1, "sample {sample}");
         }
+    }
+
+    #[test]
+    fn stage_tracing_tiles_the_simulation_without_perturbing_results() {
+        let net = toy_network();
+        let cfg = CodingConfig::new(64, 1.0);
+        let coding = TtasCoding::new(3).unwrap();
+        let input = [0.7f32, 0.3];
+
+        let mut plain_ws = SimWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let plain = net
+            .simulate_with(
+                &input,
+                &coding,
+                &cfg,
+                &IdentityTransform,
+                &mut rng,
+                &mut plain_ws,
+            )
+            .unwrap();
+        assert!(
+            plain_ws.stage_events().is_empty(),
+            "tracing is off by default"
+        );
+
+        let mut traced_ws = SimWorkspace::new();
+        traced_ws.set_stage_tracing(true);
+        let mut rng = StdRng::seed_from_u64(42);
+        let traced = net
+            .simulate_with(
+                &input,
+                &coding,
+                &cfg,
+                &IdentityTransform,
+                &mut rng,
+                &mut traced_ws,
+            )
+            .unwrap();
+
+        // Bit-identical results with tracing on.
+        assert_eq!(plain, traced);
+        for (a, b) in plain_ws.logits().iter().zip(traced_ws.logits()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // 2 layers, identity noise: encode, decode, forward per layer.
+        let events = traced_ws.stage_events();
+        let stages: Vec<(SimStage, u32)> = events.iter().map(|e| (e.stage, e.layer)).collect();
+        assert_eq!(
+            stages,
+            vec![
+                (SimStage::Encode, 0),
+                (SimStage::Decode, 0),
+                (SimStage::Forward, 0),
+                (SimStage::Encode, 1),
+                (SimStage::Decode, 1),
+                (SimStage::Forward, 1),
+            ]
+        );
+        // Events tile: each event starts exactly where the previous ended.
+        for pair in events.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        for e in events {
+            assert!(e.end >= e.start);
+            if e.stage == SimStage::Forward {
+                assert_eq!(e.density, traced_ws.density_per_layer()[e.layer as usize]);
+            } else {
+                assert!(!e.sparse);
+                assert_eq!(e.density, 0.0);
+            }
+        }
+
+        // Turning tracing back off clears the event stream on the next run.
+        traced_ws.set_stage_tracing(false);
+        let mut rng = StdRng::seed_from_u64(42);
+        net.simulate_with(
+            &input,
+            &coding,
+            &cfg,
+            &IdentityTransform,
+            &mut rng,
+            &mut traced_ws,
+        )
+        .unwrap();
+        assert!(traced_ws.stage_events().is_empty());
     }
 
     #[test]

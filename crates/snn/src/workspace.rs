@@ -47,7 +47,50 @@
 //! # }
 //! ```
 
+use std::time::Instant;
+
 use crate::{CodingConfig, CodingScratch, SnnLayer, SnnNetwork, SpikeRaster};
+
+/// The simulation phase a [`StageEvent`] attributes time to. This is the
+/// engine's own vocabulary — deliberately independent of any observability
+/// crate, so `nrsnn-snn` stays free of serving-layer dependencies; the
+/// serving layer maps these onto its span taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimStage {
+    /// Analog-to-spike conversion of a layer's input vector.
+    Encode,
+    /// Synaptic-noise corruption of a transmitted raster.
+    Noise,
+    /// Spike-to-analog PSC decode of a received raster.
+    Decode,
+    /// A layer's forward pass (dense or sparse kernel).
+    Forward,
+}
+
+/// One timed phase of the most recent simulation, produced when stage
+/// tracing is enabled via [`SimWorkspace::set_stage_tracing`].
+///
+/// Consecutive events tile the simulation: each event's `start` is the
+/// previous event's `end`, so summing durations reconstructs the full
+/// simulate time with no gaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageEvent {
+    /// Which phase the time was spent in.
+    pub stage: SimStage,
+    /// Layer index the phase belongs to (the initial input encode is
+    /// layer 0).
+    pub layer: u32,
+    /// Phase start.
+    pub start: Instant,
+    /// Phase end.
+    pub end: Instant,
+    /// For [`SimStage::Forward`]: whether the sparse gather kernel was
+    /// taken; `false` otherwise.
+    pub sparse: bool,
+    /// For [`SimStage::Forward`]: the measured raster density the kernel
+    /// decision saw; `0.0` otherwise.
+    pub density: f32,
+}
 
 /// Scratch buffers for the convolution forward pass (`im2col` patch matrix,
 /// transposed kernel bank, their product).
@@ -108,6 +151,12 @@ pub struct SimWorkspace {
     pub(crate) conv: ConvScratch,
     /// Transmitted spike count per raster, input raster first.
     pub(crate) spikes_per_layer: Vec<usize>,
+    /// Per-phase timing of the most recent simulation; only filled when
+    /// `trace_enabled` is set, cleared at the start of every sample.
+    pub(crate) stage_events: Vec<StageEvent>,
+    /// Whether `simulate_core` should timestamp its phases. Off by
+    /// default: the simulation sweep paths pay zero instrumentation cost.
+    pub(crate) trace_enabled: bool,
 }
 
 impl SimWorkspace {
@@ -173,6 +222,30 @@ impl SimWorkspace {
     /// [`crate::SparsityPolicy`] compared against its threshold.
     pub fn density_per_layer(&self) -> &[f32] {
         &self.density_per_layer
+    }
+
+    /// Enables or disables per-phase stage timing. When enabled, every
+    /// simulation fills [`SimWorkspace::stage_events`] with one
+    /// [`StageEvent`] per encode/noise/decode/forward phase. Tracing never
+    /// touches the RNG stream, so results are bit-identical either way.
+    pub fn set_stage_tracing(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+        if enabled && self.stage_events.capacity() == 0 {
+            // Enough for a deep network without a warm-up allocation:
+            // at most 4 phases per layer.
+            self.stage_events.reserve(64);
+        }
+    }
+
+    /// Whether per-phase stage timing is enabled.
+    pub fn stage_tracing(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Per-phase timing of the most recent simulation (empty unless
+    /// tracing is enabled via [`SimWorkspace::set_stage_tracing`]).
+    pub fn stage_events(&self) -> &[StageEvent] {
+        &self.stage_events
     }
 }
 

@@ -1,7 +1,7 @@
 //! Length-prefixed versioned framing for every serving-protocol message.
 //!
 //! ```text
-//! frame   := magic:u8 (0xB5)  version:u8 (1)  payload_len:u32le  payload
+//! frame   := magic:u8 (0xB5)  version:u8 (2)  payload_len:u32le  payload
 //! payload := tag:u8  body
 //!
 //! tag  frame                body
@@ -9,12 +9,15 @@
 //! 0x02 StatsRequest         (empty)
 //! 0x03 ListModelsRequest    (empty)
 //! 0x04 PingRequest          (empty)
+//! 0x05 TraceRequest         last:u32
 //! 0x11 InferReply           model:str  predicted:u64  logit_len:u32
 //!                           logits: f32 bits  total_spikes:u64  latency_us:u64
+//!                           trace_id:u64
 //! 0x12 StatsReply           see `StatsBody`
 //! 0x13 ModelsReply          count:u32  (name:str)*
 //! 0x14 PongReply            (empty)
 //! 0x15 ErrorReply           code:str  message:str
+//! 0x16 TraceReply           count:u32  (trace: see `TraceBody`)*
 //! 0x21 Raster               see the `raster` module
 //! ```
 //!
@@ -36,7 +39,14 @@ use crate::{ByteReader, ByteWriter, Result, WireError};
 pub const FRAME_MAGIC: u8 = 0xB5;
 
 /// Wire format version this build encodes and accepts.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version history:
+/// * `1` — initial format.
+/// * `2` — observability: `InferReply` gained a trailing `trace_id:u64`,
+///   `StatsBody` gained `batch_size_offset`, `p999_latency_us` and the
+///   per-stage latency table, and the `TraceRequest`/`TraceReply` frames
+///   were added.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Bytes in a frame header: magic + version + `u32` payload length.
 pub const FRAME_HEADER_LEN: usize = 6;
@@ -107,7 +117,8 @@ pub struct StatsBody {
     pub failed: u64,
     /// Batches executed.
     pub batches: u64,
-    /// Histogram of executed batch sizes (index 0 = size 1).
+    /// Histogram of executed batch sizes (index `i` counts batches of size
+    /// `batch_size_offset + i`).
     pub batch_size_histogram: Vec<u64>,
     /// Mean executed batch size.
     pub mean_batch_size: f64,
@@ -121,6 +132,76 @@ pub struct StatsBody {
     pub total_spikes: u64,
     /// Mean spikes per inference.
     pub spikes_per_inference: f64,
+    /// Batch size counted by `batch_size_histogram[0]`.
+    pub batch_size_offset: u64,
+    /// p99.9 request latency in microseconds.
+    pub p999_latency_us: u64,
+    /// Per-stage latency percentiles, in nanoseconds.
+    pub stage_latency_ns: Vec<StageLatencyBody>,
+}
+
+/// One per-stage latency entry of a [`StatsBody`] — mirrors `nrsnn-serve`'s
+/// `StageLatency`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageLatencyBody {
+    /// Stage name (`queue_wait`, `encode`, `simulate`, …).
+    pub stage: String,
+    /// p50 stage duration in nanoseconds.
+    pub p50_ns: u64,
+    /// p99 stage duration in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Sentinel for "no layer" in a [`TraceSpanBody`]'s `layer` field.
+pub const TRACE_NO_LAYER: u32 = u32::MAX;
+
+/// One stage of a recorded request timeline — mirrors `nrsnn-serve`'s
+/// `TraceSpan`.
+///
+/// `stage` and `kernel` travel as small integer codes (the taxonomy of
+/// `nrsnn-obs`): stages `0..=6` are `queue_wait`, `batch_assembly`,
+/// `encode`, `noise`, `decode`, `simulate`, `reply_serialize`; kernels
+/// `0..=2` are none, `dense`, `sparse`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSpanBody {
+    /// Stage code (`0..=6`).
+    pub stage: u8,
+    /// Layer index, or [`TRACE_NO_LAYER`] when the stage is not per-layer.
+    pub layer: u32,
+    /// Start, nanoseconds since the server's monotonic epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the server's monotonic epoch.
+    pub end_ns: u64,
+    /// Kernel-path code (`0` none, `1` dense, `2` sparse).
+    pub kernel: u8,
+    /// Measured raster density for `simulate` spans, else `0`.
+    pub density: f32,
+}
+
+/// One request's recorded timeline — mirrors `nrsnn-serve`'s
+/// `RequestTrace`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBody {
+    /// Server-unique trace id (echoed in the inference reply).
+    pub trace_id: u64,
+    /// Name of the model that served the request.
+    pub model: String,
+    /// The request's seed.
+    pub seed: u64,
+    /// Index of the batcher worker that ran the request.
+    pub worker: u32,
+    /// Admission time, nanoseconds since the server's monotonic epoch.
+    pub start_ns: u64,
+    /// Reply-ready time, nanoseconds since the server's monotonic epoch.
+    pub end_ns: u64,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// SIMD backend active on the worker.
+    pub backend: String,
+    /// Per-stage breakdown tiling `start_ns..end_ns`.
+    pub spans: Vec<TraceSpanBody>,
+    /// Spans discarded for lack of buffer space.
+    pub dropped_spans: u32,
 }
 
 /// Every message of the serving protocol, plus a standalone spike-raster
@@ -143,6 +224,11 @@ pub enum Frame {
     ListModelsRequest,
     /// Liveness probe (`tag 0x04`).
     PingRequest,
+    /// Ask for the last `last` recorded request timelines (`tag 0x05`).
+    TraceRequest {
+        /// Maximum number of recent timelines to return.
+        last: u32,
+    },
     /// A completed inference (`tag 0x11`).
     InferReply {
         /// Model that served the request.
@@ -155,6 +241,8 @@ pub enum Frame {
         total_spikes: u64,
         /// Server-side latency in microseconds.
         latency_us: u64,
+        /// Flight-recorder trace id (`0` when tracing is off).
+        trace_id: u64,
     },
     /// Statistics snapshot (`tag 0x12`).
     StatsReply(StatsBody),
@@ -169,6 +257,8 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Recorded request timelines, newest first (`tag 0x16`).
+    TraceReply(Vec<TraceBody>),
     /// A standalone spike raster (`tag 0x21`).
     Raster(SpikeRaster),
 }
@@ -177,11 +267,13 @@ const TAG_INFER_REQUEST: u8 = 0x01;
 const TAG_STATS_REQUEST: u8 = 0x02;
 const TAG_LIST_MODELS_REQUEST: u8 = 0x03;
 const TAG_PING_REQUEST: u8 = 0x04;
+const TAG_TRACE_REQUEST: u8 = 0x05;
 const TAG_INFER_REPLY: u8 = 0x11;
 const TAG_STATS_REPLY: u8 = 0x12;
 const TAG_MODELS_REPLY: u8 = 0x13;
 const TAG_PONG_REPLY: u8 = 0x14;
 const TAG_ERROR_REPLY: u8 = 0x15;
+const TAG_TRACE_REPLY: u8 = 0x16;
 const TAG_RASTER: u8 = 0x21;
 
 impl Frame {
@@ -192,11 +284,13 @@ impl Frame {
             Frame::StatsRequest => TAG_STATS_REQUEST,
             Frame::ListModelsRequest => TAG_LIST_MODELS_REQUEST,
             Frame::PingRequest => TAG_PING_REQUEST,
+            Frame::TraceRequest { .. } => TAG_TRACE_REQUEST,
             Frame::InferReply { .. } => TAG_INFER_REPLY,
             Frame::StatsReply(_) => TAG_STATS_REPLY,
             Frame::ModelsReply(_) => TAG_MODELS_REPLY,
             Frame::PongReply => TAG_PONG_REPLY,
             Frame::ErrorReply { .. } => TAG_ERROR_REPLY,
+            Frame::TraceReply(_) => TAG_TRACE_REPLY,
             Frame::Raster(_) => TAG_RASTER,
         }
     }
@@ -220,12 +314,16 @@ pub fn encode_payload(frame: &Frame) -> Result<Vec<u8>> {
             }
         }
         Frame::StatsRequest | Frame::ListModelsRequest | Frame::PingRequest | Frame::PongReply => {}
+        Frame::TraceRequest { last } => {
+            w.put_u32(*last);
+        }
         Frame::InferReply {
             model,
             predicted,
             logits,
             total_spikes,
             latency_us,
+            trace_id,
         } => {
             w.put_str(model)?;
             w.put_u64(*predicted);
@@ -235,6 +333,7 @@ pub fn encode_payload(frame: &Frame) -> Result<Vec<u8>> {
             }
             w.put_u64(*total_spikes);
             w.put_u64(*latency_us);
+            w.put_u64(*trace_id);
         }
         Frame::StatsReply(stats) => {
             w.put_u64(stats.requests_received);
@@ -252,6 +351,37 @@ pub fn encode_payload(frame: &Frame) -> Result<Vec<u8>> {
             w.put_f64(stats.mean_latency_us);
             w.put_u64(stats.total_spikes);
             w.put_f64(stats.spikes_per_inference);
+            w.put_u64(stats.batch_size_offset);
+            w.put_u64(stats.p999_latency_us);
+            w.put_len(stats.stage_latency_ns.len())?;
+            for entry in &stats.stage_latency_ns {
+                w.put_str(&entry.stage)?;
+                w.put_u64(entry.p50_ns);
+                w.put_u64(entry.p99_ns);
+            }
+        }
+        Frame::TraceReply(traces) => {
+            w.put_len(traces.len())?;
+            for trace in traces {
+                w.put_u64(trace.trace_id);
+                w.put_str(&trace.model)?;
+                w.put_u64(trace.seed);
+                w.put_u32(trace.worker);
+                w.put_u64(trace.start_ns);
+                w.put_u64(trace.end_ns);
+                w.put_u8(u8::from(trace.ok));
+                w.put_str(&trace.backend)?;
+                w.put_u32(trace.dropped_spans);
+                w.put_len(trace.spans.len())?;
+                for span in &trace.spans {
+                    w.put_u8(span.stage);
+                    w.put_u32(span.layer);
+                    w.put_u64(span.start_ns);
+                    w.put_u64(span.end_ns);
+                    w.put_u8(span.kernel);
+                    w.put_f32(span.density);
+                }
+            }
         }
         Frame::ModelsReply(names) => {
             w.put_len(names.len())?;
@@ -293,6 +423,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
         TAG_STATS_REQUEST => Frame::StatsRequest,
         TAG_LIST_MODELS_REQUEST => Frame::ListModelsRequest,
         TAG_PING_REQUEST => Frame::PingRequest,
+        TAG_TRACE_REQUEST => Frame::TraceRequest { last: r.get_u32()? },
         TAG_INFER_REPLY => {
             let model = r.get_str()?;
             let predicted = r.get_u64()?;
@@ -303,12 +434,14 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
             }
             let total_spikes = r.get_u64()?;
             let latency_us = r.get_u64()?;
+            let trace_id = r.get_u64()?;
             Frame::InferReply {
                 model,
                 predicted,
                 logits,
                 total_spikes,
                 latency_us,
+                trace_id,
             }
         }
         TAG_STATS_REPLY => {
@@ -322,6 +455,25 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
             for _ in 0..len {
                 batch_size_histogram.push(r.get_u64()?);
             }
+            let mean_batch_size = r.get_f64()?;
+            let p50_latency_us = r.get_u64()?;
+            let p99_latency_us = r.get_u64()?;
+            let mean_latency_us = r.get_f64()?;
+            let total_spikes = r.get_u64()?;
+            let spikes_per_inference = r.get_f64()?;
+            let batch_size_offset = r.get_u64()?;
+            let p999_latency_us = r.get_u64()?;
+            // Each entry costs at least its stage-name length prefix plus
+            // two u64 percentiles.
+            let stage_len = r.get_len(20)?;
+            let mut stage_latency_ns = Vec::with_capacity(stage_len);
+            for _ in 0..stage_len {
+                stage_latency_ns.push(StageLatencyBody {
+                    stage: r.get_str()?,
+                    p50_ns: r.get_u64()?,
+                    p99_ns: r.get_u64()?,
+                });
+            }
             Frame::StatsReply(StatsBody {
                 requests_received,
                 requests_served,
@@ -329,12 +481,15 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
                 failed,
                 batches,
                 batch_size_histogram,
-                mean_batch_size: r.get_f64()?,
-                p50_latency_us: r.get_u64()?,
-                p99_latency_us: r.get_u64()?,
-                mean_latency_us: r.get_f64()?,
-                total_spikes: r.get_u64()?,
-                spikes_per_inference: r.get_f64()?,
+                mean_batch_size,
+                p50_latency_us,
+                p99_latency_us,
+                mean_latency_us,
+                total_spikes,
+                spikes_per_inference,
+                batch_size_offset,
+                p999_latency_us,
+                stage_latency_ns,
             })
         }
         TAG_MODELS_REPLY => {
@@ -351,6 +506,56 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
             code: r.get_str()?,
             message: r.get_str()?,
         },
+        TAG_TRACE_REPLY => {
+            // Each trace costs at least its fixed-width scalar fields.
+            let count = r.get_len(45)?;
+            let mut traces = Vec::with_capacity(count);
+            for _ in 0..count {
+                let trace_id = r.get_u64()?;
+                let model = r.get_str()?;
+                let seed = r.get_u64()?;
+                let worker = r.get_u32()?;
+                let start_ns = r.get_u64()?;
+                let end_ns = r.get_u64()?;
+                let ok = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(WireError::InvalidPayload(format!(
+                            "trace ok flag must be 0 or 1, got {other}"
+                        )))
+                    }
+                };
+                let backend = r.get_str()?;
+                let dropped_spans = r.get_u32()?;
+                // Each span is 26 fixed bytes.
+                let span_count = r.get_len(26)?;
+                let mut spans = Vec::with_capacity(span_count);
+                for _ in 0..span_count {
+                    spans.push(TraceSpanBody {
+                        stage: r.get_u8()?,
+                        layer: r.get_u32()?,
+                        start_ns: r.get_u64()?,
+                        end_ns: r.get_u64()?,
+                        kernel: r.get_u8()?,
+                        density: r.get_f32()?,
+                    });
+                }
+                traces.push(TraceBody {
+                    trace_id,
+                    model,
+                    seed,
+                    worker,
+                    start_ns,
+                    end_ns,
+                    ok,
+                    backend,
+                    spans,
+                    dropped_spans,
+                });
+            }
+            Frame::TraceReply(traces)
+        }
         TAG_RASTER => Frame::Raster(read_raster(&mut r)?),
         other => return Err(WireError::UnknownTag { tag: other }),
     };
@@ -446,12 +651,14 @@ mod tests {
             Frame::StatsRequest,
             Frame::ListModelsRequest,
             Frame::PingRequest,
+            Frame::TraceRequest { last: 16 },
             Frame::InferReply {
                 model: "mnist-ttas".to_string(),
                 predicted: 7,
                 logits: vec![-0.0, 3.25, f32::MIN_POSITIVE / 4.0],
                 total_spikes: 421,
                 latency_us: 1_553,
+                trace_id: (1u64 << 57) + 3,
             },
             Frame::StatsReply(StatsBody {
                 requests_received: 10,
@@ -466,7 +673,50 @@ mod tests {
                 mean_latency_us: 1_250.5,
                 total_spikes: 3_800,
                 spikes_per_inference: 422.22,
+                batch_size_offset: 2,
+                p999_latency_us: 9_700,
+                stage_latency_ns: vec![
+                    StageLatencyBody {
+                        stage: "queue_wait".to_string(),
+                        p50_ns: 12_000,
+                        p99_ns: 88_000,
+                    },
+                    StageLatencyBody {
+                        stage: "simulate".to_string(),
+                        p50_ns: 640_000,
+                        p99_ns: 1_900_000,
+                    },
+                ],
             }),
+            Frame::TraceReply(vec![TraceBody {
+                trace_id: 11,
+                model: "mnist-ttas".to_string(),
+                seed: (1u64 << 61) + 5,
+                worker: 1,
+                start_ns: 5_000,
+                end_ns: 905_000,
+                ok: true,
+                backend: "sse2".to_string(),
+                spans: vec![
+                    TraceSpanBody {
+                        stage: 0, // queue_wait
+                        layer: TRACE_NO_LAYER,
+                        start_ns: 5_000,
+                        end_ns: 45_000,
+                        kernel: 0,
+                        density: 0.0,
+                    },
+                    TraceSpanBody {
+                        stage: 5, // simulate
+                        layer: 1,
+                        start_ns: 45_000,
+                        end_ns: 905_000,
+                        kernel: 2, // sparse
+                        density: 0.0625,
+                    },
+                ],
+                dropped_spans: 0,
+            }]),
             Frame::ModelsReply(vec!["a".to_string(), "b-ttfs".to_string()]),
             Frame::PongReply,
             Frame::ErrorReply {

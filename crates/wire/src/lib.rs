@@ -54,7 +54,8 @@ pub mod raster;
 pub use bytes::{ByteReader, ByteWriter};
 pub use frame::{
     decode_frame, decode_payload, encode_frame, encode_payload, read_frame, write_frame, Frame,
-    FrameHeader, StatsBody, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN, WIRE_VERSION,
+    FrameHeader, StageLatencyBody, StatsBody, TraceBody, TraceSpanBody, FRAME_HEADER_LEN,
+    FRAME_MAGIC, MAX_FRAME_LEN, TRACE_NO_LAYER, WIRE_VERSION,
 };
 pub use model::{
     decode_model, encode_model, LayerDesc, ModelRecord, NoiseDesc, MODEL_MAGIC, MODEL_VERSION,

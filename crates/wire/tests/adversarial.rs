@@ -10,8 +10,8 @@ use nrsnn_snn::{CodingKind, SpikeRaster};
 use nrsnn_tensor::Tensor;
 use nrsnn_wire::{
     decode_frame, decode_model, decode_raster, encode_frame, encode_model, encode_raster, Frame,
-    LayerDesc, ModelRecord, NoiseDesc, StatsBody, WireError, FRAME_HEADER_LEN, FRAME_MAGIC,
-    MAX_FRAME_LEN, WIRE_VERSION,
+    LayerDesc, ModelRecord, NoiseDesc, StatsBody, TraceBody, TraceSpanBody, WireError,
+    FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN, TRACE_NO_LAYER, WIRE_VERSION,
 };
 use proptest::rng_for;
 use rand::Rng;
@@ -34,17 +34,38 @@ fn sample_frames() -> Vec<Frame> {
         Frame::StatsRequest,
         Frame::ListModelsRequest,
         Frame::PingRequest,
+        Frame::TraceRequest { last: 8 },
         Frame::InferReply {
             model: "mnist".to_string(),
             predicted: 7,
             logits: vec![0.5, -1.25],
             total_spikes: 99,
             latency_us: 1000,
+            trace_id: 77,
         },
         Frame::StatsReply(StatsBody {
             batch_size_histogram: vec![1, 2, 3],
             ..StatsBody::default()
         }),
+        Frame::TraceReply(vec![TraceBody {
+            trace_id: 77,
+            model: "mnist".to_string(),
+            seed: 5,
+            worker: 0,
+            start_ns: 10,
+            end_ns: 900,
+            ok: false,
+            backend: "scalar".to_string(),
+            spans: vec![TraceSpanBody {
+                stage: 6,
+                layer: TRACE_NO_LAYER,
+                start_ns: 10,
+                end_ns: 900,
+                kernel: 1,
+                density: 1.0,
+            }],
+            dropped_spans: 1,
+        }]),
         Frame::ModelsReply(vec!["a".to_string(), "b".to_string()]),
         Frame::PongReply,
         Frame::ErrorReply {

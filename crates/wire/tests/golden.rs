@@ -18,7 +18,7 @@ use nrsnn_snn::{CodingKind, SpikeRaster};
 use nrsnn_tensor::Tensor;
 use nrsnn_wire::{
     decode_frame, decode_model, encode_frame, encode_model, Frame, LayerDesc, ModelRecord,
-    NoiseDesc, StatsBody,
+    NoiseDesc, StageLatencyBody, StatsBody, TraceBody, TraceSpanBody, TRACE_NO_LAYER,
 };
 
 fn golden_dir() -> PathBuf {
@@ -66,6 +66,7 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
         ("frame_stats_request.bin", Frame::StatsRequest),
         ("frame_list_models_request.bin", Frame::ListModelsRequest),
         ("frame_ping_request.bin", Frame::PingRequest),
+        ("frame_trace_request.bin", Frame::TraceRequest { last: 16 }),
         (
             "frame_infer_reply.bin",
             Frame::InferReply {
@@ -74,6 +75,7 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
                 logits: vec![-0.25, 3.5, 0.0],
                 total_spikes: 12_345,
                 latency_us: 678,
+                trace_id: 9_007_199_254_740_995, // above 2^53: must survive
             },
         ),
         (
@@ -84,14 +86,60 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
                 rejected_busy: 1,
                 failed: 0,
                 batches: 4,
-                batch_size_histogram: vec![0, 2, 1, 0, 1],
+                batch_size_histogram: vec![2, 1, 0, 1],
                 mean_batch_size: 2.25,
                 p50_latency_us: 120,
                 p99_latency_us: 480,
                 mean_latency_us: 150.5,
                 total_spikes: 4096,
                 spikes_per_inference: 455.1,
+                batch_size_offset: 2,
+                p999_latency_us: 495,
+                stage_latency_ns: vec![
+                    StageLatencyBody {
+                        stage: "queue_wait".to_string(),
+                        p50_ns: 11_000,
+                        p99_ns: 72_000,
+                    },
+                    StageLatencyBody {
+                        stage: "simulate".to_string(),
+                        p50_ns: 95_000,
+                        p99_ns: 410_000,
+                    },
+                ],
             }),
+        ),
+        (
+            "frame_trace_reply.bin",
+            Frame::TraceReply(vec![TraceBody {
+                trace_id: 9_007_199_254_740_997, // above 2^53: must survive
+                model: "mnist-mlp".to_string(),
+                seed: u64::MAX - 5,
+                worker: 2,
+                start_ns: 1_000,
+                end_ns: 250_000,
+                ok: true,
+                backend: "sse2".to_string(),
+                spans: vec![
+                    TraceSpanBody {
+                        stage: 0, // queue_wait
+                        layer: TRACE_NO_LAYER,
+                        start_ns: 1_000,
+                        end_ns: 12_000,
+                        kernel: 0,
+                        density: 0.0,
+                    },
+                    TraceSpanBody {
+                        stage: 5, // simulate
+                        layer: 1,
+                        start_ns: 12_000,
+                        end_ns: 250_000,
+                        kernel: 2, // sparse
+                        density: 0.0625,
+                    },
+                ],
+                dropped_spans: 0,
+            }]),
         ),
         (
             "frame_models_reply.bin",
@@ -185,7 +233,7 @@ fn model_encoding_matches_committed_fixture() {
 fn fixture_count_is_complete() {
     // One fixture per frame tag plus the model file.  If a frame type is
     // added, add its fixture here so it becomes golden-pinned too.
-    assert_eq!(golden_frames().len(), 10);
+    assert_eq!(golden_frames().len(), 12);
     if std::env::var("NRSNN_WIRE_BLESS").as_deref() == Ok("1") {
         // Fixtures are being rewritten concurrently by the other tests;
         // counting them here would race the writers.
@@ -198,7 +246,7 @@ fn fixture_count_is_complete() {
         .collect();
     assert_eq!(
         entries.len(),
-        11,
+        13,
         "unexpected fixture set {entries:?}: stale files hide format drift"
     );
 }

@@ -14,7 +14,7 @@ use nrsnn_snn::{CodingKind, SpikeRaster};
 use nrsnn_tensor::Tensor;
 use nrsnn_wire::{
     decode_frame, decode_model, decode_raster, encode_frame, encode_model, encode_raster, Frame,
-    LayerDesc, ModelRecord, NoiseDesc, StatsBody,
+    LayerDesc, ModelRecord, NoiseDesc, StageLatencyBody, StatsBody, TraceBody, TraceSpanBody,
 };
 use proptest::{prop_assert_eq, rng_for, TestRng, CASES};
 use rand::Rng;
@@ -138,11 +138,44 @@ fn gen_stats(rng: &mut TestRng) -> StatsBody {
         mean_latency_us: gen_f64(rng),
         total_spikes: rng.gen(),
         spikes_per_inference: gen_f64(rng),
+        batch_size_offset: rng.gen(),
+        p999_latency_us: rng.gen(),
+        stage_latency_ns: (0..rng.gen_range(0usize..8))
+            .map(|_| StageLatencyBody {
+                stage: gen_string(rng),
+                p50_ns: rng.gen(),
+                p99_ns: rng.gen(),
+            })
+            .collect(),
+    }
+}
+
+fn gen_trace(rng: &mut TestRng) -> TraceBody {
+    TraceBody {
+        trace_id: gen_seed(rng),
+        model: gen_string(rng),
+        seed: gen_seed(rng),
+        worker: rng.gen(),
+        start_ns: rng.gen(),
+        end_ns: rng.gen(),
+        ok: rng.gen_range(0u32..2) == 0,
+        backend: gen_string(rng),
+        spans: (0..rng.gen_range(0usize..12))
+            .map(|_| TraceSpanBody {
+                stage: rng.gen(),
+                layer: rng.gen(),
+                start_ns: rng.gen(),
+                end_ns: rng.gen(),
+                kernel: rng.gen(),
+                density: gen_f32(rng),
+            })
+            .collect(),
+        dropped_spans: rng.gen(),
     }
 }
 
 fn gen_frame(rng: &mut TestRng) -> Frame {
-    match rng.gen_range(0u32..10) {
+    match rng.gen_range(0u32..12) {
         0 => Frame::InferRequest {
             model: gen_string(rng),
             seed: gen_seed(rng),
@@ -161,6 +194,7 @@ fn gen_frame(rng: &mut TestRng) -> Frame {
                 .collect(),
             total_spikes: rng.gen(),
             latency_us: rng.gen(),
+            trace_id: gen_seed(rng),
         },
         5 => Frame::StatsReply(gen_stats(rng)),
         6 => Frame::ModelsReply(
@@ -173,6 +207,12 @@ fn gen_frame(rng: &mut TestRng) -> Frame {
             code: gen_string(rng),
             message: gen_string(rng),
         },
+        9 => Frame::TraceRequest { last: rng.gen() },
+        10 => Frame::TraceReply(
+            (0..rng.gen_range(0usize..4))
+                .map(|_| gen_trace(rng))
+                .collect(),
+        ),
         _ => Frame::Raster(gen_raster(rng)),
     }
 }
@@ -335,6 +375,7 @@ proptest::proptest! {
             logits: vec![value],
             total_spikes: 0,
             latency_us: 0,
+            trace_id: 0,
         };
         let bytes = encode_frame(&frame).unwrap();
         let Frame::InferReply { logits, .. } = decode_frame(&bytes).unwrap() else {

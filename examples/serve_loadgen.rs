@@ -11,6 +11,7 @@
 //! cargo run --release --example serve_loadgen -- --clients 8 --requests 32
 //! cargo run --release --example serve_loadgen -- --smoke   # tiny CI run
 //! cargo run --release --example serve_loadgen -- --binary  # binary wire + model file
+//! cargo run --release --example serve_loadgen -- --report  # per-stage latency table + traces
 //! NRSNN_THREADS=4 cargo run --release --example serve_loadgen
 //! ```
 
@@ -27,6 +28,7 @@ struct Options {
     requests_per_client: usize,
     smoke: bool,
     binary: bool,
+    report: bool,
 }
 
 fn parse_options() -> Options {
@@ -35,6 +37,7 @@ fn parse_options() -> Options {
         requests_per_client: 32,
         smoke: false,
         binary: false,
+        report: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,9 +56,12 @@ fn parse_options() -> Options {
             }
             "--smoke" => options.smoke = true,
             "--binary" => options.binary = true,
+            "--report" => options.report = true,
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: serve_loadgen [--clients N] [--requests M] [--smoke] [--binary]");
+                eprintln!(
+                    "usage: serve_loadgen [--clients N] [--requests M] [--smoke] [--binary] [--report]"
+                );
                 std::process::exit(2);
             }
         }
@@ -124,6 +130,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_batch: 16,
             batch_window: Duration::ZERO,
             queue_capacity: 1024,
+            ..ServerConfig::default()
         },
     )?;
     let addr = server.serve_tcp(("127.0.0.1", 0))?;
@@ -196,14 +203,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.p50_latency_us, stats.p99_latency_us, stats.mean_latency_us
     );
     println!("spikes per inference: {:.0}", stats.spikes_per_inference);
+    // Index i counts batches of size `batch_size_offset + i`: the leading
+    // all-zero head of the histogram is trimmed on the wire.
     let sized: Vec<String> = stats
         .batch_size_histogram
         .iter()
         .enumerate()
         .filter(|(_, &count)| count > 0)
-        .map(|(size, count)| format!("{size}:{count}"))
+        .map(|(i, count)| format!("{}:{count}", stats.batch_size_offset as usize + i))
         .collect();
     println!("batch-size histogram (size:count): {}", sized.join(" "));
+
+    if options.report {
+        println!("\n---- per-stage latency (from sharded stage histograms) ----");
+        println!("{:<16} {:>12} {:>12}", "stage", "p50 (us)", "p99 (us)");
+        for stage in &stats.stage_latency_ns {
+            println!(
+                "{:<16} {:>12.1} {:>12.1}",
+                stage.stage,
+                stage.p50_ns as f64 / 1_000.0,
+                stage.p99_ns as f64 / 1_000.0
+            );
+        }
+        println!("p999 end-to-end latency: {} us", stats.p999_latency_us);
+
+        // Pull the most recent request timelines from the flight recorder
+        // and print one fully decomposed: every microsecond accounted for.
+        let traces = probe.trace(8)?;
+        println!(
+            "---- flight recorder: {} recent trace(s) ----",
+            traces.len()
+        );
+        if let Some(trace) = traces.last() {
+            let total_ns = trace.duration_ns().max(1);
+            println!(
+                "trace {} | model {} | seed {} | worker {} | backend {} | {} | {:.1} us total",
+                trace.trace_id,
+                trace.model,
+                trace.seed,
+                trace.worker,
+                trace.backend,
+                if trace.ok { "ok" } else { "failed" },
+                total_ns as f64 / 1_000.0
+            );
+            let mut covered_ns = 0u64;
+            for span in &trace.spans {
+                let span_ns = span.end_ns.saturating_sub(span.start_ns);
+                covered_ns += span_ns;
+                let layer = span
+                    .layer
+                    .map_or_else(String::new, |l| format!(" layer {l}"));
+                let kernel = span.kernel.as_ref().map_or_else(String::new, |k| {
+                    format!(" [{k}, density {:.3}]", span.density)
+                });
+                println!(
+                    "  {:<16}{layer}{kernel} {:>10.1} us ({:>4.1}%)",
+                    span.stage,
+                    span_ns as f64 / 1_000.0,
+                    span_ns as f64 * 100.0 / total_ns as f64
+                );
+            }
+            println!(
+                "  span coverage: {:.1}% of end-to-end",
+                covered_ns as f64 * 100.0 / total_ns as f64
+            );
+        }
+    }
 
     server.shutdown();
     std::fs::remove_file(&model_path).ok();

@@ -189,6 +189,107 @@ fn steady_state_simulate_batch_allocates_zero_per_sample() {
     }
 }
 
+/// The observability hot path must be equally allocation-free: stage-event
+/// capture inside the simulation workspace, the sharded metric sinks, and
+/// the flight recorder's ring push may not cost a single heap allocation
+/// once their buffers are warm — otherwise "tracing on" silently taxes the
+/// serving path the ≤ 2 % overhead budget is supposed to protect.
+#[test]
+fn steady_state_observability_hot_path_allocates_zero() {
+    use nrsnn_obs::{
+        FlightRecorder, KernelPath, RecorderConfig, ShardedCounter, ShardedHistogram, Span, Stage,
+        TraceRecord,
+    };
+
+    // 1. Stage tracing in the workspace: same batch contract as above, but
+    //    with per-stage event capture enabled.
+    let network = build_network(24, 18, 6);
+    let inputs = build_inputs(32, 24);
+    let cfg = CodingConfig::new(64, 1.0);
+    let coding = CodingKind::Ttas(5).build();
+    let noise = DeletionNoise::new(0.3).unwrap();
+    let mut ws = SimWorkspace::new();
+    ws.set_stage_tracing(true);
+    let mut outcomes: Vec<BatchOutcome> = Vec::new();
+    let run = |ws: &mut SimWorkspace, out: &mut Vec<BatchOutcome>| {
+        network
+            .simulate_batch(
+                &inputs,
+                0..32,
+                coding.as_ref(),
+                &cfg,
+                &noise,
+                |sample| StdRng::seed_from_u64(derive_seed(97, sample as u64)),
+                ws,
+                out,
+            )
+            .unwrap();
+        assert!(!ws.stage_events().is_empty(), "tracing captured no events");
+    };
+    let warmup = allocations_during(|| run(&mut ws, &mut outcomes));
+    assert!(warmup > 0, "warm-up should allocate (counter wired up?)");
+    for pass in 0..2 {
+        let steady = allocations_during(|| run(&mut ws, &mut outcomes));
+        assert_eq!(
+            steady, 0,
+            "stage tracing pass {pass} allocated {steady} times (expected zero)"
+        );
+    }
+
+    // 2. Sharded sinks: counters and histograms are preallocated atomics —
+    //    zero allocations from the very first record.
+    let counter = ShardedCounter::new(4);
+    let histogram = ShardedHistogram::new(4);
+    let sink_allocs = allocations_during(|| {
+        for i in 0..1000u64 {
+            counter.incr((i % 4) as usize);
+            histogram.record((i % 4) as usize, i * 31);
+        }
+    });
+    assert_eq!(sink_allocs, 0, "sharded sinks allocated on the record path");
+
+    // 3. The flight recorder: once every preallocated ring slot's span
+    //    buffer has grown to the workload's span count, re-recording is a
+    //    clear + extend_from_slice — no allocation.
+    let recorder = FlightRecorder::new(RecorderConfig {
+        shards: 1,
+        recent_capacity: 4,
+        outlier_capacity: 2,
+        slow_threshold_ns: 0, // no slow outliers: the recent ring is the subject
+    });
+    let trace = TraceRecord {
+        trace_id: 1,
+        ok: true,
+        backend: "scalar",
+        start_ns: 0,
+        end_ns: 5_000,
+        spans: (0..8)
+            .map(|i| Span {
+                stage: Stage::Simulate,
+                layer: Some(i),
+                start_ns: u64::from(i) * 500,
+                end_ns: (u64::from(i) + 1) * 500,
+                kernel: KernelPath::Dense,
+                density: 0.5,
+            })
+            .collect(),
+        ..TraceRecord::default()
+    };
+    // Warm-up: one pass over every ring slot.
+    for _ in 0..4 {
+        recorder.record(0, &trace);
+    }
+    let record_allocs = allocations_during(|| {
+        for _ in 0..100 {
+            recorder.record(0, &trace);
+        }
+    });
+    assert_eq!(
+        record_allocs, 0,
+        "flight-recorder record path allocated in steady state"
+    );
+}
+
 /// The one-shot `simulate` wrapper must stay correct (it allocates by
 /// design — one workspace per call); contrast documented here so the
 /// steady-state guarantee above is clearly about the batched path.

@@ -116,6 +116,7 @@ fn tcp_server_serves_64_concurrent_requests_bit_identically() {
             max_batch: 8,
             batch_window: Duration::from_micros(200),
             queue_capacity: 256,
+            ..ServerConfig::default()
         },
     )
     .expect("start server");
