@@ -1,0 +1,557 @@
+//! A small hand-rolled Rust lexer — just enough structure for rule checks.
+//!
+//! The lexer splits a source file into *significant tokens* (identifiers,
+//! punctuation, literals, lifetimes) and *comments*, each carrying 1-based
+//! line numbers.  It understands every way Rust can embed text that must
+//! **not** be token-matched: line and (nested) block comments, string and
+//! byte-string literals with escapes, raw strings with arbitrary `#` fences
+//! (`r#".."#`, `br##".."##`, `c".."`), and character literals — including
+//! the classic `'a'`-vs-`'a`-lifetime ambiguity.
+//!
+//! It deliberately does **not** build an AST: every repo invariant the lint
+//! enforces is expressible over the token stream plus comment adjacency,
+//! and a full parser would mean depending on `syn` — which the layering
+//! rule itself forbids (shims-only external deps).
+
+/// What kind of significant token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `nrsnn_obs`, ...).
+    Ident,
+    /// Single punctuation character (`:`, `{`, `!`, ...).
+    Punct,
+    /// String/char/number literal (text not retained for strings).
+    Literal,
+    /// Lifetime (`'a`) — distinct so it never masquerades as a char.
+    Lifetime,
+}
+
+/// One significant token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For identifiers and punctuation this is the exact
+    /// source; for literals it is a placeholder (rules never match on
+    /// literal contents).
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line comments merged into runs, see [`lex`]).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub start_line: u32,
+    pub end_line: u32,
+    /// Full comment text including the `//`/`/*` markers.
+    pub text: String,
+    /// True when no token precedes the comment on its starting line —
+    /// trailing comments (after code) never merge into runs.
+    pub whole_line: bool,
+}
+
+/// A lexed file: tokens, comments and the raw lines (the latter used for
+/// the attribute-skipping adjacency walk in the rules).
+#[derive(Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    pub lines: Vec<String>,
+}
+
+impl Lexed {
+    /// True if `line` (1-based) is blank or an attribute line — the lines
+    /// the justification-comment adjacency walk is allowed to skip over.
+    pub fn is_skippable_line(&self, line: u32) -> bool {
+        match self.lines.get(line as usize - 1) {
+            Some(l) => {
+                let t = l.trim();
+                t.is_empty() || t.starts_with("#[") || t.starts_with("#![")
+            }
+            None => false,
+        }
+    }
+
+    /// True if some comment ending exactly on `line` contains `needle`.
+    pub fn comment_ending_on(&self, line: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.end_line == line && c.text.contains(needle))
+    }
+
+    /// The adjacency rule shared by every justification check: a comment
+    /// containing `needle` either ends on the token's own line (trailing
+    /// or preceding on the same line) or ends directly above it, with only
+    /// blank and attribute lines allowed in between.
+    pub fn has_justification(&self, line: u32, needle: &str) -> bool {
+        if self.comment_ending_on(line, needle) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && self.is_skippable_line(l) {
+            l -= 1;
+        }
+        l >= 1 && self.comment_ending_on(l, needle)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source` into tokens and comments.
+///
+/// Adjacent whole-line comments are merged into one [`Comment`] run so a
+/// multi-line `// SAFETY: ...` explanation counts as a single comment whose
+/// `end_line` abuts the code it documents.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+
+    while let Some(b) = cur.peek(0) {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = source[start..cur.pos].to_string();
+                comments.push(Comment {
+                    start_line: line,
+                    end_line: line,
+                    text,
+                    whole_line: toks.last().map_or(true, |t| t.line != line),
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                comments.push(Comment {
+                    start_line: line,
+                    end_line: cur.line,
+                    text: source[start..cur.pos].to_string(),
+                    whole_line: toks.last().map_or(true, |t| t.line != line),
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"\"".to_string(),
+                    line,
+                });
+            }
+            b'\'' => {
+                lex_char_or_lifetime(&mut cur, &mut toks, line);
+            }
+            _ if raw_string_prefix(&cur).is_some() => {
+                // `r".."`, `r#".."#`, `br".."`, `cr#"..."#`, `b".."` ...
+                let (skip, hashes) = raw_string_prefix(&cur).expect("checked");
+                for _ in 0..skip {
+                    cur.bump();
+                }
+                if hashes == usize::MAX {
+                    // plain (escaped) string with a b/c prefix
+                    lex_string(&mut cur);
+                } else {
+                    lex_raw_string(&mut cur, hashes);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"\"".to_string(),
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek(0) {
+                    if is_ident_continue(c) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "0".to_string(),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+
+    Lexed {
+        toks,
+        comments: merge_line_comment_runs(comments),
+        lines: source.lines().map(|l| l.to_string()).collect(),
+    }
+}
+
+/// Detects a raw/byte/C string prefix at the cursor.  Returns
+/// `(prefix_len_to_skip, fence_hash_count)`; `usize::MAX` hashes means
+/// "escaped string body" (for `b"…"` / `c"…"` without `r`).
+fn raw_string_prefix(cur: &Cursor<'_>) -> Option<(usize, usize)> {
+    let b0 = cur.peek(0)?;
+    let mut i;
+    let mut raw = false;
+    match b0 {
+        b'r' => {
+            raw = true;
+            i = 1;
+        }
+        b'b' | b'c' => {
+            i = 1;
+            if cur.peek(1) == Some(b'r') {
+                raw = true;
+                i = 2;
+            }
+        }
+        _ => return None,
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek(i + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if cur.peek(i + hashes) == Some(b'"') {
+            // skip prefix + hashes + opening quote
+            return Some((i + hashes + 1, hashes));
+        }
+        None
+    } else if cur.peek(i) == Some(b'"') {
+        // b"..." / c"..." — escaped body, skip prefix only (lex_string
+        // consumes the quote).
+        Some((i, usize::MAX))
+    } else {
+        None
+    }
+}
+
+/// Consumes a `"…"` string starting at the opening quote, honouring `\`
+/// escapes (including `\"` and `\\`).
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string body (opening fence already skipped) until `"`
+/// followed by `hashes` `#`s.
+fn lex_raw_string(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if cur.peek(k) != Some(b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime): after the
+/// quote, an identifier run that is *not* closed by another quote is a
+/// lifetime.  Escaped chars (`'\n'`) are always literals.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>, toks: &mut Vec<Tok>, line: u32) {
+    cur.bump(); // the quote
+    match cur.peek(0) {
+        Some(b'\\') => {
+            // escaped char literal: consume escape then to closing quote
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.peek(0) {
+                cur.bump();
+                if c == b'\'' {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: "''".to_string(),
+                line,
+            });
+        }
+        Some(c) if is_ident_start(c) => {
+            // Identifier run: lifetime unless closed by a quote
+            // immediately after one ident char (e.g. 'a').
+            let mut len = 0usize;
+            while let Some(k) = cur.peek(len) {
+                if is_ident_continue(k) {
+                    len += 1;
+                } else {
+                    break;
+                }
+            }
+            if cur.peek(len) == Some(b'\'') {
+                for _ in 0..=len {
+                    cur.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "''".to_string(),
+                    line,
+                });
+            } else {
+                for _ in 0..len {
+                    cur.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: "'_".to_string(),
+                    line,
+                });
+            }
+        }
+        Some(_) => {
+            // Non-identifier char literal like '(' or '0'.
+            cur.bump();
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: "''".to_string(),
+                line,
+            });
+        }
+        None => {}
+    }
+}
+
+/// Consumes a numeric literal (integers, floats, suffixes, exponents) —
+/// loose on purpose; rules never inspect number contents, the lexer only
+/// needs to not split `1.5e-3` into tokens that confuse path matching.
+fn lex_number(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            let at_exp_sign = (c == b'e' || c == b'E')
+                && matches!(cur.peek(1), Some(b'+') | Some(b'-'))
+                && matches!(cur.peek(2), Some(d) if d.is_ascii_digit());
+            cur.bump();
+            if at_exp_sign {
+                cur.bump(); // sign
+            }
+        } else if c == b'.' && matches!(cur.peek(1), Some(d) if d.is_ascii_digit()) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Merges runs of whole-line `//` comments on consecutive lines into one
+/// logical comment, so a wrapped SAFETY/ORDERING justification ends where
+/// its last line ends.  A comment only joins the previous run if nothing
+/// but the comment sits on its line (i.e. it is not a trailing comment
+/// after code — those stay separate).
+fn merge_line_comment_runs(comments: Vec<Comment>) -> Vec<Comment> {
+    let mut out: Vec<Comment> = Vec::new();
+    for c in comments {
+        if let Some(prev) = out.last_mut() {
+            if c.whole_line
+                && c.text.starts_with("//")
+                && prev.whole_line
+                && prev.text.starts_with("//")
+                && c.start_line == prev.end_line + 1
+                && c.start_line == c.end_line
+            {
+                prev.end_line = c.end_line;
+                prev.text.push('\n');
+                prev.text.push_str(&c.text);
+                continue;
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+// unsafe in a comment
+/* unsafe in /* a nested */ block */
+let s = "unsafe in a string";
+let r = r#"unsafe in a raw "string""#;
+let b = b"unsafe bytes";
+let c = 'u';
+fn real_unsafe() {}
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "leaked: {ids:?}");
+        assert!(ids.contains(&"real_unsafe".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_tokens() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x } // 'quote");
+        // Lifetimes surface as Lifetime tokens, not identifiers.
+        assert_eq!(
+            ids,
+            ["fn", "f", "x", "str", "str", "x"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+        let lifetimes = lex("fn f<'a>(x: &'a str) {}")
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape() {
+        let ids = idents(r"let q = '\''; let n = '\n'; unsafe_tok();");
+        assert!(ids.contains(&"unsafe_tok".to_string()));
+    }
+
+    #[test]
+    fn line_comment_runs_merge() {
+        let src = "// SAFETY: part one\n// and part two\nunsafe { }\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].start_line, 1);
+        assert_eq!(lexed.comments[0].end_line, 2);
+        assert!(lexed.has_justification(3, "SAFETY:"));
+    }
+
+    #[test]
+    fn trailing_comments_do_not_merge_with_next_line() {
+        let src = "foo(); // trailing\n// standalone\nbar();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn justification_walks_over_attributes_and_blanks() {
+        let src = "// SAFETY: fine\n#[inline(always)]\n#[target_feature(enable = \"avx2\")]\nunsafe fn f() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.has_justification(4, "SAFETY:"));
+        assert!(!lexed.has_justification(4, "ORDERING:"));
+    }
+
+    #[test]
+    fn justification_does_not_walk_over_code() {
+        let src = "// SAFETY: stale\nlet x = 1;\nunsafe { }\n";
+        let lexed = lex(src);
+        assert!(!lexed.has_justification(3, "SAFETY:"));
+    }
+
+    #[test]
+    fn raw_string_fences_respected() {
+        // The first `"#` inside the body must not close the r##-string.
+        let src = r###"let x = r##"body with "# inside"##; unsafe_marker();"###;
+        let ids = idents(src);
+        assert!(ids.contains(&"unsafe_marker".to_string()));
+        assert!(!ids.contains(&"body".to_string()));
+    }
+
+    #[test]
+    fn token_lines_are_accurate() {
+        let lexed = lex("a\nb\n\nc\n");
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,226 @@
+//! nrsnn-lint: the workspace invariant checker.
+//!
+//! The repo's reproduction contract — replies depend only on
+//! (model, input, seed), bit-identical across thread counts, SIMD
+//! backends, wire formats and tracing states — rests on a handful of
+//! source-level invariants: SAFETY comments on `unsafe`, ORDERING
+//! comments on atomics, a fixed crate DAG, per-layer API deny lists and
+//! an unwrap audit on the serving path.  This crate checks them
+//! mechanically on every CI run.
+//!
+//! Std-only by design: the lint enforces the shims-only external
+//! dependency policy, so it cannot itself depend on `syn` or `toml`.  It
+//! carries a hand-rolled lexer ([`lexer`]) that understands comments,
+//! strings, raw strings and char literals — enough to never mistake
+//! `"unsafe"` in a string for the keyword — and a just-enough manifest
+//! reader ([`workspace`]).
+//!
+//! Escape hatch: a violating line (or the line above it) may carry
+//!
+//! ```text
+//! // nrsnn-lint: allow(<rule-id>) -- <reason>
+//! ```
+//!
+//! The reason is mandatory and the rule ID must exist; malformed
+//! directives are themselves findings and suppress nothing.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::path::Path;
+
+pub use rules::{Finding, RULES};
+
+/// A parsed, valid allow directive.
+struct Allow {
+    rule: String,
+    /// Inclusive line range the suppression covers: the (merged) comment
+    /// that carries the directive, plus the line directly below it.
+    first_line: u32,
+    last_line: u32,
+}
+
+const DIRECTIVE: &str = "nrsnn-lint:";
+
+/// Extracts allow directives from a file's comments.  Returns the valid
+/// allows and the findings for malformed/unknown ones (which never
+/// suppress anything).
+fn parse_directives(rel_path: &str, lexed: &lexer::Lexed) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in &lexed.comments {
+        for (line_off, comment_line) in c.text.lines().enumerate() {
+            // A directive is a plain `//` line comment whose content starts
+            // with the marker.  Doc comments (`///`, `//!`) never carry
+            // directives — they may legitimately *describe* the grammar.
+            let t = comment_line.trim_start();
+            let content = match t.strip_prefix("//") {
+                Some(rest) if !rest.starts_with('/') && !rest.starts_with('!') => rest.trim(),
+                _ => continue,
+            };
+            let Some(rest) = content.strip_prefix(DIRECTIVE) else {
+                continue;
+            };
+            let rest = rest.trim();
+            let line = c.start_line + line_off as u32;
+            let mut bad = |msg: String| {
+                findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line,
+                    rule: "bad-allow",
+                    message: msg,
+                });
+            };
+            let Some(inner) = rest
+                .strip_prefix("allow")
+                .map(str::trim_start)
+                .and_then(|r| r.strip_prefix('('))
+            else {
+                bad("malformed directive: expected `nrsnn-lint: allow(<rule>) -- <reason>`".into());
+                continue;
+            };
+            let Some(close) = inner.find(')') else {
+                bad("malformed directive: missing `)` after the rule name".into());
+                continue;
+            };
+            let rule = inner[..close].trim();
+            let tail = inner[close + 1..].trim();
+            if !rules::is_known_rule(rule) {
+                findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line,
+                    rule: "unknown-rule",
+                    message: format!(
+                        "allow names unknown rule `{rule}`; known rules: {}",
+                        rules::RULES
+                            .iter()
+                            .filter(|(r, _)| rules::is_known_rule(r))
+                            .map(|(r, _)| *r)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+                continue;
+            }
+            let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+            if reason.is_empty() {
+                bad(format!(
+                    "allow({rule}) without a reason: append ` -- <why this site is exempt>`"
+                ));
+                continue;
+            }
+            allows.push(Allow {
+                rule: rule.to_string(),
+                first_line: c.start_line,
+                last_line: c.end_line + 1,
+            });
+        }
+    }
+    (allows, findings)
+}
+
+/// Lints one file's source as if it lived at `rel_path` in the workspace.
+/// The path drives every scope decision (crate membership, test-likeness,
+/// wire/merge-path prefixes), which is what makes fixture testing honest.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let Some(class) = rules::classify(rel_path) else {
+        return Vec::new();
+    };
+    let lexed = lexer::lex(src);
+    let ctx = rules::FileCtx {
+        rel_path,
+        class,
+        krate: config::crate_for_path(rel_path),
+        test_regions: rules::test_regions(&lexed.toks),
+        lexed: &lexed,
+    };
+    let raw = rules::run_file_rules(&ctx);
+    let (allows, mut findings) = parse_directives(rel_path, &lexed);
+    findings.extend(raw.into_iter().filter(|f| {
+        !allows
+            .iter()
+            .any(|a| a.rule == f.rule && f.line >= a.first_line && f.line <= a.last_line)
+    }));
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file plus the
+/// manifest half of the layering rule.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = workspace::check_manifests(root)?;
+    for (rel, abs) in workspace::rust_files(root)? {
+        let src = std::fs::read_to_string(&abs)?;
+        findings.extend(lint_source(&rel, &src));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f() {\n    // nrsnn-lint: allow(unsafe-needs-safety) -- exercised by the fixture harness\n    unsafe { g() }\n}\n";
+        let f = lint_source("crates/tensor/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad_and_does_not_suppress() {
+        let src =
+            "fn f() {\n    // nrsnn-lint: allow(unsafe-needs-safety)\n    unsafe { g() }\n}\n";
+        let f = lint_source("crates/tensor/src/x.rs", src);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"bad-allow"), "{f:?}");
+        assert!(rules.contains(&"unsafe-needs-safety"), "{f:?}");
+    }
+
+    #[test]
+    fn allow_of_unknown_rule_is_flagged() {
+        let src = "// nrsnn-lint: allow(no-such-rule) -- because\nfn f() {}\n";
+        let f = lint_source("crates/tensor/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unknown-rule");
+    }
+
+    #[test]
+    fn allow_of_wrong_rule_does_not_suppress_another() {
+        let src = "fn f() {\n    // nrsnn-lint: allow(atomic-ordering) -- misdirected\n    unsafe { g() }\n}\n";
+        let f = lint_source("crates/tensor/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unsafe-needs-safety");
+    }
+
+    #[test]
+    fn meta_rules_cannot_be_allowed() {
+        assert!(!rules::is_known_rule("bad-allow"));
+        assert!(!rules::is_known_rule("unknown-rule"));
+        assert!(rules::is_known_rule("layering"));
+    }
+
+    #[test]
+    fn non_rust_and_fixture_paths_are_ignored() {
+        assert!(lint_source("docs/ARCHITECTURE.md", "unsafe {}").is_empty());
+        assert!(lint_source(
+            "crates/lint/tests/fixtures/bad_unsafe.rs",
+            "fn f() { unsafe { g() } }"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p nrsnn-lint            # lint the enclosing workspace
+//! cargo run -p nrsnn-lint -- <root>  # lint an explicit root
+//! cargo run -p nrsnn-lint -- --rules # print the rule table
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--rules") {
+        for (id, what) in nrsnn_lint::RULES {
+            println!("{id:<22} {what}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: nrsnn-lint [--rules] [<workspace-root>]");
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.first() {
+        Some(p) => PathBuf::from(p),
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("nrsnn-lint: could not locate a workspace root (no Cargo.toml with [workspace] upward of the current directory)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    match nrsnn_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("nrsnn-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+            }
+            println!("nrsnn-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("nrsnn-lint: io error under {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks upward from the current directory to the first Cargo.toml that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() && has_workspace_table(&manifest) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn has_workspace_table(manifest: &Path) -> bool {
+    std::fs::read_to_string(manifest)
+        .map(|t| t.lines().any(|l| l.trim() == "[workspace]"))
+        .unwrap_or(false)
+}

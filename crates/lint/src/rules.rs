@@ -1,0 +1,654 @@
+//! The rule engine: each invariant as a pass over one lexed file.
+//!
+//! Every rule has a stable ID (the string in [`RULES`]), emits
+//! `file:line` diagnostics, and can be suppressed at a single site with
+//! the inline escape hatch
+//!
+//! ```text
+//! // nrsnn-lint: allow(<rule-id>) -- <reason>
+//! ```
+//!
+//! on the violating line or the line above it.  The reason is mandatory —
+//! an allow without one is itself a violation (`bad-allow`), and naming a
+//! rule that does not exist is `unknown-rule`, so the escape hatch cannot
+//! rot silently.
+
+use crate::config::{
+    self, ApiDeny, CrateSpec, API_DENY, RELAXED_AUDIT_PREFIXES, UNWRAP_AUDIT_PREFIX,
+};
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Every rule ID the engine can emit, including the two meta rules that
+/// police the escape hatch itself.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "unsafe-needs-safety",
+        "every `unsafe` block/fn/impl/trait must be preceded by a `// SAFETY:` comment \
+         (or a `# Safety` doc section)",
+    ),
+    (
+        "layering",
+        "crate dependencies must match the DAG declared in crates/lint/src/config.rs; \
+         only shims may be external",
+    ),
+    (
+        "forbidden-api",
+        "per-layer API deny list (raw std::time outside obs, prints in libraries, \
+         sleeps in serve/runtime, hash iteration on wire paths)",
+    ),
+    (
+        "atomic-ordering",
+        "SeqCst/Acquire/Release/AcqRel everywhere, and Relaxed on merge paths, must carry \
+         an `// ORDERING:` justification comment",
+    ),
+    (
+        "unwrap-audit",
+        "unwrap()/expect() in crates/serve/src must carry an `// UNWRAP:` justification \
+         (infallibility or poisoning argument)",
+    ),
+    (
+        "bad-allow",
+        "a `// nrsnn-lint: allow(...)` directive must carry a `-- <reason>`",
+    ),
+    (
+        "unknown-rule",
+        "a `// nrsnn-lint: allow(...)` directive names a rule that does not exist",
+    ),
+];
+
+/// True if `id` is a real, suppressible rule.
+pub fn is_known_rule(id: &str) -> bool {
+    // The meta rules police the escape hatch and cannot themselves be
+    // allowed away.
+    RULES
+        .iter()
+        .any(|(r, _)| *r == id && *r != "bad-allow" && *r != "unknown-rule")
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule ID.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// How a file participates in the rule scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `src/` of a workspace crate — full rule set.
+    LibSrc,
+    /// `tests/`, `benches/`, `examples/` — unsafe and layering only.
+    TestLike,
+}
+
+/// Per-file context handed to every rule.
+pub struct FileCtx<'a> {
+    pub rel_path: &'a str,
+    pub class: FileClass,
+    pub krate: Option<&'static CrateSpec>,
+    pub lexed: &'a Lexed,
+    /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl FileCtx<'_> {
+    fn in_test_region(&self, tok_idx: usize) -> bool {
+        self.class == FileClass::TestLike
+            || self
+                .test_regions
+                .iter()
+                .any(|&(a, b)| tok_idx >= a && tok_idx <= b)
+    }
+}
+
+/// Classifies a workspace-relative path; `None` means "not lintable Rust"
+/// (docs, fixtures, generated artifacts).
+pub fn classify(rel_path: &str) -> Option<FileClass> {
+    if !rel_path.ends_with(".rs") || rel_path.contains("/fixtures/") {
+        return None;
+    }
+    let test_like = ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|d| rel_path.starts_with(d) || rel_path.contains(&format!("/{d}")));
+    Some(if test_like {
+        FileClass::TestLike
+    } else {
+        FileClass::LibSrc
+    })
+}
+
+/// Computes token-index ranges for `#[cfg(test)]` and `#[test]` items, so
+/// scoped rules skip test code without needing an AST: after the
+/// attribute, the item extends to its first top-level `;` or through its
+/// matching brace pair.
+pub fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && matches!(toks.get(i + 1), Some(t) if t.text == "[") {
+            let (attr_end, is_test) = scan_attribute(toks, i + 1);
+            if is_test {
+                let mut j = attr_end + 1;
+                // Skip any further attributes on the same item.
+                while j < toks.len()
+                    && toks[j].text == "#"
+                    && matches!(toks.get(j + 1), Some(t) if t.text == "[")
+                {
+                    let (e, _) = scan_attribute(toks, j + 1);
+                    j = e + 1;
+                }
+                let end = scan_item_end(toks, j);
+                regions.push((i, end));
+                i = attr_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Scans an attribute starting at its `[`; returns (index of matching `]`,
+/// whether the attribute is `cfg(test)` or `test`).
+fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let inner: Vec<&str> = toks[open + 1..j.min(toks.len())]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    let is_test = inner == ["test"] || inner == ["cfg", "(", "test", ")"];
+    (j.min(toks.len().saturating_sub(1)), is_test)
+}
+
+/// From the first token of an item, finds the index of its terminating
+/// `;` or of the `}` matching its first body brace.
+fn scan_item_end(toks: &[Tok], start: usize) -> usize {
+    let mut j = start;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            ";" if paren == 0 && bracket == 0 => return j,
+            "{" if paren == 0 && bracket == 0 => {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return j;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return toks.len().saturating_sub(1);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Runs every file-scoped rule. (The manifest half of `layering` runs in
+/// [`crate::workspace`], which owns Cargo.toml access.)
+pub fn run_file_rules(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    rule_unsafe_needs_safety(ctx, &mut findings);
+    rule_layering_use_paths(ctx, &mut findings);
+    if ctx.class == FileClass::LibSrc {
+        rule_forbidden_api(ctx, &mut findings);
+        rule_atomic_ordering(ctx, &mut findings);
+        rule_unwrap_audit(ctx, &mut findings);
+    }
+    findings
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    ctx: &FileCtx<'_>,
+    line: u32,
+    rule: &'static str,
+    msg: String,
+) {
+    findings.push(Finding {
+        path: ctx.rel_path.to_string(),
+        line,
+        rule,
+        message: msg,
+    });
+}
+
+/// `unsafe-needs-safety`: every `unsafe` keyword (block, fn, impl, trait —
+/// in any file, tests included) must sit under a `// SAFETY:` comment or a
+/// `# Safety` doc section, adjacently (blank/attribute lines may
+/// intervene).
+fn rule_unsafe_needs_safety(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.lexed.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let form = match ctx.lexed.toks.get(i + 1).map(|n| n.text.as_str()) {
+            Some("fn") => "unsafe fn",
+            Some("impl") => "unsafe impl",
+            Some("trait") => "unsafe trait",
+            Some("extern") => "unsafe extern",
+            _ => "unsafe block",
+        };
+        if ctx.lexed.has_justification(t.line, "SAFETY:")
+            || ctx.lexed.has_justification(t.line, "# Safety")
+        {
+            continue;
+        }
+        push(
+            findings,
+            ctx,
+            t.line,
+            "unsafe-needs-safety",
+            format!("{form} without an adjacent `// SAFETY:` comment or `# Safety` doc section"),
+        );
+    }
+}
+
+/// The `use`-path half of `layering`: an identifier naming another
+/// workspace crate (`nrsnn_obs`, `nrsnn`, ...) may only appear in a file
+/// whose crate declares that dependency (dev-dependencies count only in
+/// test-like files).
+fn rule_layering_use_paths(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    let Some(krate) = ctx.krate else {
+        return;
+    };
+    for t in &ctx.lexed.toks {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if !(t.text == "nrsnn" || t.text.starts_with("nrsnn_")) {
+            continue;
+        }
+        let dep_name = t.text.replace('_', "-");
+        let Some(dep) = config::CRATES.iter().find(|c| c.name == dep_name) else {
+            // Not a workspace crate (e.g. a local variable named
+            // `nrsnn_threads`) — not a layering question.
+            continue;
+        };
+        if dep.name == krate.name {
+            continue; // self-reference (crate name in its own tests/benches)
+        }
+        let allowed = krate.deps.contains(&dep.name)
+            || (ctx.class == FileClass::TestLike && krate.dev_deps.contains(&dep.name));
+        if !allowed {
+            push(
+                findings,
+                ctx,
+                t.line,
+                "layering",
+                format!(
+                    "{} must not reach into {} (edge absent from the DAG in \
+                     crates/lint/src/config.rs)",
+                    krate.name, dep.name
+                ),
+            );
+        }
+    }
+}
+
+/// `forbidden-api`: token-sequence matching of the deny table, per entry
+/// scope, outside test regions.
+fn rule_forbidden_api(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    // Shims emulate external crates (criterion prints reports, rand reads
+    // clocks); repo API policy does not reach into their stand-in bodies.
+    if ctx.rel_path.starts_with("shims/") {
+        return;
+    }
+    let crate_name = ctx.krate.map(|c| c.name).unwrap_or("");
+    for entry in API_DENY {
+        if entry.exempt_crates.contains(&crate_name) {
+            continue;
+        }
+        if !entry.only_crates.is_empty() && !entry.only_crates.contains(&crate_name) {
+            continue;
+        }
+        if !entry.only_path_prefixes.is_empty()
+            && !entry
+                .only_path_prefixes
+                .iter()
+                .any(|p| ctx.rel_path.starts_with(p))
+        {
+            continue;
+        }
+        match_deny_entry(ctx, entry, findings);
+    }
+}
+
+fn match_deny_entry(ctx: &FileCtx<'_>, entry: &ApiDeny, findings: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.toks;
+    let display = entry.path.join("::");
+    for i in 0..toks.len() {
+        if ctx.in_test_region(i) {
+            continue;
+        }
+        if toks[i].kind != TokKind::Ident || toks[i].text != entry.path[0] {
+            continue;
+        }
+        if entry.path.len() == 1 {
+            if entry.is_macro && !matches!(toks.get(i + 1), Some(t) if t.text == "!") {
+                continue;
+            }
+            push(
+                findings,
+                ctx,
+                toks[i].line,
+                "forbidden-api",
+                format!("use of `{display}`: {}", entry.why),
+            );
+            continue;
+        }
+        // Multi-segment path: match `seg :: seg :: ...`, with the final
+        // segment either direct or inside a `use`-tree brace group.
+        let mut j = i + 1;
+        let mut seg = 1usize;
+        let mut matched_line = None;
+        loop {
+            let double_colon = matches!(toks.get(j), Some(t) if t.text == ":")
+                && matches!(toks.get(j + 1), Some(t) if t.text == ":");
+            if !double_colon {
+                break;
+            }
+            j += 2;
+            let last = seg == entry.path.len() - 1;
+            match toks.get(j) {
+                Some(t) if t.kind == TokKind::Ident && t.text == entry.path[seg] => {
+                    if last {
+                        matched_line = Some(t.line);
+                        break;
+                    }
+                    seg += 1;
+                    j += 1;
+                }
+                Some(t) if last && t.text == "{" => {
+                    // use std::time::{Duration, Instant};
+                    let mut depth = 0i32;
+                    let mut k = j;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {
+                                if toks[k].kind == TokKind::Ident && toks[k].text == entry.path[seg]
+                                {
+                                    matched_line = Some(toks[k].line);
+                                }
+                            }
+                        }
+                        k += 1;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if let Some(line) = matched_line {
+            push(
+                findings,
+                ctx,
+                line,
+                "forbidden-api",
+                format!("use of `{display}`: {}", entry.why),
+            );
+        }
+    }
+}
+
+/// `atomic-ordering`: `Ordering::{SeqCst,Acquire,Release,AcqRel}` sites
+/// need an `// ORDERING:` justification everywhere in library code;
+/// `Ordering::Relaxed` needs one on the declared merge paths.  (The
+/// `std::cmp::Ordering` variants never collide — `Less`/`Equal`/`Greater`
+/// are not in either list.)
+fn rule_atomic_ordering(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.toks;
+    let relaxed_audited = RELAXED_AUDIT_PREFIXES
+        .iter()
+        .any(|p| ctx.rel_path.starts_with(p));
+    for i in 0..toks.len() {
+        if ctx.in_test_region(i) {
+            continue;
+        }
+        if toks[i].kind != TokKind::Ident || toks[i].text != "Ordering" {
+            continue;
+        }
+        let double_colon = matches!(toks.get(i + 1), Some(t) if t.text == ":")
+            && matches!(toks.get(i + 2), Some(t) if t.text == ":");
+        if !double_colon {
+            continue;
+        }
+        let Some(variant) = toks.get(i + 3) else {
+            continue;
+        };
+        let strong = matches!(
+            variant.text.as_str(),
+            "SeqCst" | "Acquire" | "Release" | "AcqRel"
+        );
+        let relaxed = variant.text == "Relaxed";
+        if !(strong || (relaxed && relaxed_audited)) {
+            continue;
+        }
+        if ctx.lexed.has_justification(variant.line, "ORDERING:") {
+            continue;
+        }
+        let why = if strong {
+            "a non-Relaxed ordering buys synchronisation that must be named"
+        } else {
+            "Relaxed on a merge path must argue why no synchronisation is needed"
+        };
+        push(
+            findings,
+            ctx,
+            variant.line,
+            "atomic-ordering",
+            format!(
+                "`Ordering::{}` without an adjacent `// ORDERING:` justification ({why})",
+                variant.text
+            ),
+        );
+    }
+}
+
+/// `unwrap-audit`: `.unwrap()` / `.expect(` in `crates/serve/src` outside
+/// test code must carry an `// UNWRAP:` justification naming the
+/// infallibility (or poisoning-propagation) argument.
+fn rule_unwrap_audit(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.rel_path.starts_with(UNWRAP_AUDIT_PREFIX) {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test_region(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+            continue;
+        }
+        let method_call =
+            i > 0 && toks[i - 1].text == "." && matches!(toks.get(i + 1), Some(n) if n.text == "(");
+        if !method_call {
+            continue;
+        }
+        if ctx.lexed.has_justification(t.line, "UNWRAP:") {
+            continue;
+        }
+        push(
+            findings,
+            ctx,
+            t.line,
+            "unwrap-audit",
+            format!(
+                "`.{}()` in serving code without an `// UNWRAP:` justification — convert \
+                 reachable failures to ServeError, justify the provably infallible",
+                t.text
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_for<'a>(rel_path: &'a str, lexed: &'a Lexed) -> FileCtx<'a> {
+        let class = classify(rel_path).expect("lintable");
+        FileCtx {
+            rel_path,
+            class,
+            krate: config::crate_for_path(rel_path),
+            test_regions: test_regions(&lexed.toks),
+            lexed,
+        }
+    }
+
+    fn run(rel_path: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        run_file_rules(&ctx_for(rel_path, &lexed))
+    }
+
+    #[test]
+    fn unsafe_without_safety_flags_and_with_passes() {
+        let bad = run("crates/tensor/src/x.rs", "fn f() { unsafe { g() } }\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "unsafe-needs-safety");
+        let good = run(
+            "crates/tensor/src/x.rs",
+            "fn f() {\n    // SAFETY: g has no preconditions.\n    unsafe { g() }\n}\n",
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn layering_flags_snn_reaching_obs() {
+        let f = run("crates/snn/src/x.rs", "use nrsnn_obs::Clock;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "layering");
+        // ...but serve may use obs (edge exists in the DAG).
+        assert!(run("crates/serve/src/x.rs", "use nrsnn_obs::Clock;\n").is_empty());
+    }
+
+    #[test]
+    fn forbidden_api_catches_instant_in_use_group() {
+        let f = run(
+            "crates/snn/src/x.rs",
+            "use std::time::{Duration, Instant};\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "forbidden-api");
+        // obs is the exempt home of raw clocks.
+        assert!(run("crates/obs/src/x.rs", "use std::time::Instant;\n").is_empty());
+    }
+
+    #[test]
+    fn atomic_ordering_needs_comment_and_cmp_ordering_is_ignored() {
+        let f = run(
+            "crates/serve/src/x.rs",
+            "fn f(a: &AtomicU64) { a.store(1, Ordering::SeqCst); }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "atomic-ordering");
+        assert!(run(
+            "crates/serve/src/x.rs",
+            "fn f(a: &AtomicU64) {\n    // ORDERING: publishes the flag to readers.\n    a.store(1, Ordering::SeqCst);\n}\n",
+        )
+        .is_empty());
+        // std::cmp::Ordering variants never trip the rule.
+        assert!(run(
+            "crates/snn/src/x.rs",
+            "fn f(a: f32, b: f32) -> Ordering { if a < b { Ordering::Less } else { Ordering::Greater } }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn relaxed_audited_only_on_merge_paths() {
+        let in_audit = run(
+            "crates/obs/src/x.rs",
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n",
+        );
+        assert_eq!(in_audit.len(), 1);
+        let outside = run(
+            "crates/serve/src/x.rs",
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n",
+        );
+        assert!(outside.is_empty(), "{outside:?}");
+    }
+
+    #[test]
+    fn unwrap_audit_scoped_to_serve_src() {
+        let f = run(
+            "crates/serve/src/x.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unwrap-audit");
+        assert!(run(
+            "crates/serve/src/x.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    // UNWRAP: x is checked Some by the caller.\n    x.unwrap()\n}\n",
+        )
+        .is_empty());
+        assert!(run(
+            "crates/snn/src/x.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_regions_silence_scoped_rules() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(run("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_bodies() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.toks);
+        assert_eq!(regions.len(), 1);
+        let (a, b) = regions[0];
+        let covered: Vec<&str> = lexed.toks[a..=b].iter().map(|t| t.text.as_str()).collect();
+        assert!(covered.contains(&"unwrap"));
+        assert!(!covered.contains(&"c"));
+    }
+}

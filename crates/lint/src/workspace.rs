@@ -1,0 +1,281 @@
+//! Workspace walking and the manifest half of the `layering` rule.
+//!
+//! The lint is std-only, so instead of a TOML parser it carries a
+//! just-enough line reader for the Cargo.toml shapes this workspace
+//! actually uses: `[section]` headers and `name = ...` keys.  Anything it
+//! cannot understand it flags rather than guesses.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{self, CrateSpec};
+use crate::rules::Finding;
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+/// Collects every lintable `.rs` file under `root`, as (workspace-relative
+/// path, absolute path), sorted for deterministic output.
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path is under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Checks every crate manifest against the declared DAG, and that every
+/// crate directory on disk is present in the table at all.
+pub fn check_manifests(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+
+    // Any crate directory not in the table is itself a violation — the
+    // table must be the single source of truth for the DAG.
+    for parent in ["crates", "shims"] {
+        let dir = root.join(parent);
+        if !dir.is_dir() {
+            continue;
+        }
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            if !entry.path().is_dir() || !entry.path().join("Cargo.toml").is_file() {
+                continue;
+            }
+            let rel = format!("{parent}/{}", entry.file_name().to_string_lossy());
+            if !config::CRATES.iter().any(|c| c.dir == rel) {
+                findings.push(Finding {
+                    path: format!("{rel}/Cargo.toml"),
+                    line: 1,
+                    rule: "layering",
+                    message: format!(
+                        "crate directory `{rel}` is not declared in the DAG table in \
+                         crates/lint/src/config.rs"
+                    ),
+                });
+            }
+        }
+    }
+
+    for spec in config::CRATES {
+        let manifest = if spec.dir == "." {
+            root.join("Cargo.toml")
+        } else {
+            root.join(spec.dir).join("Cargo.toml")
+        };
+        let Ok(text) = fs::read_to_string(&manifest) else {
+            findings.push(Finding {
+                path: format!("{}/Cargo.toml", spec.dir),
+                line: 1,
+                rule: "layering",
+                message: format!(
+                    "crate `{}` declared in the DAG table but its manifest is missing",
+                    spec.name
+                ),
+            });
+            continue;
+        };
+        check_one_manifest(spec, &text, &mut findings);
+    }
+    Ok(findings)
+}
+
+/// Which manifest section a dependency line sits in.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Section {
+    Other,
+    Package,
+    Deps,
+    DevDeps,
+    BuildDeps,
+}
+
+fn check_one_manifest(spec: &CrateSpec, text: &str, findings: &mut Vec<Finding>) {
+    let rel_manifest = if spec.dir == "." {
+        "Cargo.toml".to_string()
+    } else {
+        format!("{}/Cargo.toml", spec.dir)
+    };
+    let mut section = Section::Other;
+    let mut saw_name = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = (idx + 1) as u32;
+        if line.starts_with('[') {
+            section = match line {
+                "[package]" => Section::Package,
+                "[dependencies]" => Section::Deps,
+                "[dev-dependencies]" => Section::DevDeps,
+                "[build-dependencies]" => Section::BuildDeps,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match section {
+            Section::Package => {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(v) = rest.strip_prefix('=') {
+                        saw_name = true;
+                        let v = v.trim().trim_matches('"');
+                        if v != spec.name {
+                            findings.push(Finding {
+                                path: rel_manifest.clone(),
+                                line: lineno,
+                                rule: "layering",
+                                message: format!(
+                                    "manifest names the crate `{v}` but the DAG table expects \
+                                     `{}` at {}",
+                                    spec.name, spec.dir
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            Section::Deps | Section::DevDeps => {
+                let Some(dep) = dep_key(line) else { continue };
+                let allowed = if section == Section::Deps {
+                    spec.deps.contains(&dep)
+                } else {
+                    spec.deps.contains(&dep) || spec.dev_deps.contains(&dep)
+                };
+                if !allowed {
+                    let kind = if section == Section::Deps {
+                        "dependency"
+                    } else {
+                        "dev-dependency"
+                    };
+                    findings.push(Finding {
+                        path: rel_manifest.clone(),
+                        line: lineno,
+                        rule: "layering",
+                        message: format!(
+                            "{kind} `{dep}` of `{}` is not an edge in the DAG table \
+                             (crates/lint/src/config.rs); internal crates and shims only",
+                            spec.name
+                        ),
+                    });
+                }
+            }
+            Section::BuildDeps => {
+                if dep_key(line).is_some() {
+                    findings.push(Finding {
+                        path: rel_manifest.clone(),
+                        line: lineno,
+                        rule: "layering",
+                        message: format!(
+                            "build-dependencies are not allowed (crate `{}`): the workspace \
+                             must stay offline-buildable with shims only",
+                            spec.name
+                        ),
+                    });
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    if !saw_name {
+        findings.push(Finding {
+            path: rel_manifest,
+            line: 1,
+            rule: "layering",
+            message: format!(
+                "could not find `name = ...` in the manifest of `{}`",
+                spec.name
+            ),
+        });
+    }
+}
+
+/// Extracts the dependency name from a manifest line, honoring
+/// `package = "..."` renames inside inline tables.
+fn dep_key(line: &str) -> Option<&str> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    if key.is_empty() || key.contains('.') {
+        return None; // e.g. `foo.workspace = true` — not used in this tree
+    }
+    // `x = { package = "real-name", ... }` depends on `real-name`.
+    if let Some(pos) = rest.find("package") {
+        let after = rest[pos + "package".len()..].trim_start();
+        if let Some(v) = after.strip_prefix('=') {
+            let v = v.trim_start();
+            if let Some(stripped) = v.strip_prefix('"') {
+                if let Some(end) = stripped.find('"') {
+                    return Some(&stripped[..end]);
+                }
+            }
+        }
+    }
+    Some(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dep_key_handles_plain_and_renamed() {
+        assert_eq!(
+            dep_key("rand = { path = \"../../shims/rand\" }"),
+            Some("rand")
+        );
+        assert_eq!(
+            dep_key("fancy = { package = \"real-name\", path = \"x\" }"),
+            Some("real-name")
+        );
+        assert_eq!(dep_key("serde.workspace = true"), None);
+        assert_eq!(dep_key("just a comment"), None);
+    }
+
+    #[test]
+    fn manifest_with_undeclared_edge_is_flagged() {
+        let spec = config::CRATES
+            .iter()
+            .find(|c| c.name == "nrsnn-snn")
+            .unwrap();
+        let text =
+            "[package]\nname = \"nrsnn-snn\"\n[dependencies]\nnrsnn-obs = { path = \"../obs\" }\n";
+        let mut findings = Vec::new();
+        check_one_manifest(spec, text, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("nrsnn-obs"));
+    }
+
+    #[test]
+    fn declared_edges_pass() {
+        let spec = config::CRATES
+            .iter()
+            .find(|c| c.name == "nrsnn-snn")
+            .unwrap();
+        let text = "[package]\nname = \"nrsnn-snn\"\n[dependencies]\nnrsnn-tensor = { path = \"../tensor\" }\nrand = { path = \"../../shims/rand\" }\n[dev-dependencies]\nproptest = { path = \"../../shims/proptest\" }\n";
+        let mut findings = Vec::new();
+        check_one_manifest(spec, text, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

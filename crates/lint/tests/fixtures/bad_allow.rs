@@ -1,0 +1,6 @@
+// Bad corpus: an allow directive without the mandatory `-- <reason>`.
+// Linted as if at crates/tensor/src/fixture.rs — must trigger exactly
+// `bad-allow` (the directive below suppresses nothing and sits on a line
+// with no other violation).
+// nrsnn-lint: allow(layering)
+pub fn noop() {}

@@ -1,0 +1,8 @@
+// Bad corpus: a non-Relaxed atomic ordering with no ORDERING comment.
+// Linted as if at crates/serve/src/fixture.rs — must trigger exactly
+// `atomic-ordering`.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,8 @@
+// Bad corpus: raw wall-clock access outside crates/obs.
+// Linted as if at crates/snn/src/fixture.rs — must trigger exactly
+// `forbidden-api` (std::time::Instant is the obs crate's business).
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+// Bad corpus: the coding layer reaching into observability.
+// Linted as if at crates/snn/src/fixture.rs — must trigger exactly
+// `layering` (the nrsnn-snn -> nrsnn-obs edge is absent from the DAG).
+use nrsnn_obs::clock::Clock;
+
+pub fn now_ticks(c: &Clock) -> u64 {
+    c.ticks()
+}

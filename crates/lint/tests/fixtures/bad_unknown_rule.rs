@@ -1,0 +1,5 @@
+// Bad corpus: an allow directive naming a rule that does not exist.
+// Linted as if at crates/tensor/src/fixture.rs — must trigger exactly
+// `unknown-rule`.
+// nrsnn-lint: allow(no-such-rule) -- a reason does not rescue a typo
+pub fn noop() {}

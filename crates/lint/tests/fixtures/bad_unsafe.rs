@@ -1,0 +1,6 @@
+// Bad corpus: an unsafe block with no SAFETY comment.
+// Linted as if at crates/tensor/src/fixture.rs — must trigger exactly
+// `unsafe-needs-safety`.
+pub fn read_raw(p: *const f32) -> f32 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+// Bad corpus: an unjustified unwrap on the serving path.
+// Linted as if at crates/serve/src/fixture.rs — must trigger exactly
+// `unwrap-audit`.
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,14 @@
+// Good corpus: every would-be violation is suppressed by a well-formed
+// allow directive. Linted as if at crates/serve/src/fixture.rs — must
+// produce zero findings.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    // nrsnn-lint: allow(atomic-ordering) -- fixture exercising suppression
+    flag.store(1, Ordering::SeqCst);
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    // nrsnn-lint: allow(unwrap-audit) -- fixture exercising suppression
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,17 @@
+// Good corpus: idiomatic code that satisfies every rule without any
+// allow directives. Linted as if at crates/serve/src/fixture.rs — must
+// produce zero findings.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    // ORDERING: release-publishes the payload written before this store
+    // to any reader that acquires the same flag.
+    flag.store(1, Ordering::Release);
+}
+
+pub fn read_raw(p: *const f32, len: usize, i: usize) -> f32 {
+    assert!(i < len);
+    // SAFETY: `i` is bounds-checked above and the caller guarantees `p`
+    // points at `len` readable f32s.
+    unsafe { *p.add(i) }
+}

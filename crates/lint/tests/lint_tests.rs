@@ -1,0 +1,141 @@
+//! Integration tests for the lint itself: the bad-fixture corpus (each
+//! fixture triggers exactly its rule), the good corpus (suppression and
+//! clean idiom), the CLI exit codes, and the self-test that the real
+//! workspace tree lints clean.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+/// (fixture file, virtual workspace path it is linted as, the one rule it
+/// must trigger).
+const BAD_CORPUS: &[(&str, &str, &str)] = &[
+    (
+        "bad_unsafe.rs",
+        "crates/tensor/src/fixture.rs",
+        "unsafe-needs-safety",
+    ),
+    ("bad_layering.rs", "crates/snn/src/fixture.rs", "layering"),
+    (
+        "bad_forbidden_api.rs",
+        "crates/snn/src/fixture.rs",
+        "forbidden-api",
+    ),
+    (
+        "bad_atomic_ordering.rs",
+        "crates/serve/src/fixture.rs",
+        "atomic-ordering",
+    ),
+    (
+        "bad_unwrap.rs",
+        "crates/serve/src/fixture.rs",
+        "unwrap-audit",
+    ),
+    ("bad_allow.rs", "crates/tensor/src/fixture.rs", "bad-allow"),
+    (
+        "bad_unknown_rule.rs",
+        "crates/tensor/src/fixture.rs",
+        "unknown-rule",
+    ),
+];
+
+#[test]
+fn every_bad_fixture_triggers_exactly_its_rule() {
+    for (file, vpath, rule) in BAD_CORPUS {
+        let findings = nrsnn_lint::lint_source(vpath, &fixture(file));
+        assert!(
+            !findings.is_empty(),
+            "{file}: expected at least one `{rule}` finding, got none"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.rule, *rule,
+                "{file}: expected only `{rule}` findings, got {findings:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_fixture_findings_carry_file_and_line() {
+    let findings =
+        nrsnn_lint::lint_source("crates/tensor/src/fixture.rs", &fixture("bad_unsafe.rs"));
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].path, "crates/tensor/src/fixture.rs");
+    assert!(
+        findings[0].line > 1,
+        "line should point at the unsafe block"
+    );
+}
+
+#[test]
+fn good_fixtures_lint_clean() {
+    for file in ["good_allow.rs", "good_clean.rs"] {
+        let findings = nrsnn_lint::lint_source("crates/serve/src/fixture.rs", &fixture(file));
+        assert!(findings.is_empty(), "{file}: {findings:?}");
+    }
+}
+
+#[test]
+fn allow_suppression_is_rule_and_site_scoped() {
+    // The allow in good_allow.rs names atomic-ordering; moving the same
+    // directive in front of an unwrap must not help.
+    let src = "pub fn f(xs: &[u32]) -> u32 {\n    // nrsnn-lint: allow(atomic-ordering) -- wrong rule on purpose\n    xs.first().copied().unwrap()\n}\n";
+    let findings = nrsnn_lint::lint_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "unwrap-audit");
+}
+
+/// The self-test: the real tree must lint clean. This is the same check
+/// CI's `lint` job runs; keeping it in the unit suite means plain
+/// `cargo test` catches a new violation before CI does.
+#[test]
+fn real_workspace_lints_clean() {
+    let findings = nrsnn_lint::lint_workspace(&workspace_root()).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace has {} lint finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn cli_exits_zero_on_clean_tree_and_nonzero_on_violations() {
+    let bin = env!("CARGO_BIN_EXE_nrsnn-lint");
+
+    let ok = std::process::Command::new(bin)
+        .arg(workspace_root())
+        .output()
+        .expect("run nrsnn-lint");
+    assert!(
+        ok.status.success(),
+        "expected exit 0 on the real tree:\n{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    // A root missing every declared manifest is maximally bad.
+    let empty = std::env::temp_dir().join("nrsnn-lint-empty-root");
+    std::fs::create_dir_all(&empty).expect("mk temp root");
+    let bad = std::process::Command::new(bin)
+        .arg(&empty)
+        .output()
+        .expect("run nrsnn-lint");
+    assert_eq!(bad.status.code(), Some(1), "expected exit 1 on violations");
+}

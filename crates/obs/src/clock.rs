@@ -74,12 +74,17 @@ impl ManualClock {
 
     /// Advances the reading by `delta_ns`.
     pub fn advance(&self, delta_ns: u64) {
+        // ORDERING: Relaxed — the counter is the only shared state; tests
+        // that advance and read across threads order those accesses with
+        // their own join/channel synchronisation.
         self.now_ns.fetch_add(delta_ns, Ordering::Relaxed);
     }
 }
 
 impl Clock for ManualClock {
     fn now_ns(&self) -> u64 {
+        // ORDERING: Relaxed — a lone monotone counter; readers need a
+        // recent value, not an ordering edge with other memory.
         self.now_ns.load(Ordering::Relaxed)
     }
 }

@@ -182,7 +182,12 @@ impl ShardedHistogram {
     /// Panics if `shard` is out of range (a worker-plumbing bug).
     pub fn record(&self, shard: usize, value: u64) {
         let s = &self.shards[shard];
+        // ORDERING: Relaxed — per-shard monotone counters on the request
+        // hot path; nothing is published through them, and the snapshot
+        // below tolerates tearing between buckets and sum (stats are
+        // advisory, never part of a reply).
         s.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Relaxed — same hot-path argument as the bucket add.
         s.sum.fetch_add(value, Ordering::Relaxed);
     }
 
@@ -192,10 +197,15 @@ impl ShardedHistogram {
         let mut out = Histogram::new();
         for shard in &self.shards {
             for (index, bucket) in shard.buckets.iter().enumerate() {
+                // ORDERING: Relaxed — merge path; each cell is a monotone
+                // counter and the scrape may observe a mid-flight record
+                // (count without sum or vice versa), which only skews an
+                // advisory statistic by one in-flight event.
                 let count = bucket.load(Ordering::Relaxed);
                 out.buckets[index] += count;
                 out.count += count;
             }
+            // ORDERING: Relaxed — same merge-path argument as above.
             out.sum = out.sum.saturating_add(shard.sum.load(Ordering::Relaxed));
         }
         out

@@ -85,6 +85,8 @@ impl ShardedCounter {
     /// Panics if `shard` is out of range — shard indices come from the
     /// worker pool, so an out-of-range index is a plumbing bug.
     pub fn add(&self, shard: usize, n: u64) {
+        // ORDERING: Relaxed — per-shard monotone counter; no payload is
+        // published through it, so no ordering edge is needed.
         self.cells[shard].0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -95,6 +97,8 @@ impl ShardedCounter {
 
     /// Sum over all shards (snapshot-time aggregation).
     pub fn total(&self) -> u64 {
+        // ORDERING: Relaxed — merge path; summing monotone counters may
+        // miss in-flight adds, which advisory totals tolerate.
         self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
     }
 }

@@ -35,6 +35,8 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+// nrsnn-lint: allow(forbidden-api) -- Instant feeds Condvar::wait_timeout
+// deadlines only; all observable timestamps go through the obs clock.
 use std::time::{Duration, Instant};
 
 use nrsnn_obs::{KernelPath, Span, Stage, TraceRecord};
@@ -154,6 +156,7 @@ impl ResponseSlot {
     /// Stores the result (first write wins) and wakes the waiter; returns
     /// `true` if this call was the one that fulfilled the slot.
     fn fulfill(&self, result: Result<InferenceReply>) -> bool {
+        // UNWRAP: lock poisoning — a worker panicked mid-fulfil; propagating the panic is correct.
         let mut state = self.state.lock().expect("slot lock");
         if matches!(*state, SlotState::Empty) {
             *state = SlotState::Ready(result);
@@ -167,12 +170,14 @@ impl ResponseSlot {
     /// Blocks until the worker fulfils the slot (single waiter; a second
     /// `wait` on a consumed slot errors instead of blocking forever).
     pub(crate) fn wait(&self) -> Result<InferenceReply> {
+        // UNWRAP: lock poisoning — the fulfilling worker panicked; the waiter cannot get a reply anyway.
         let mut state = self.state.lock().expect("slot lock");
         loop {
             match std::mem::replace(&mut *state, SlotState::Consumed) {
                 SlotState::Ready(result) => return result,
                 SlotState::Empty => {
                     *state = SlotState::Empty;
+                    // UNWRAP: lock poisoning — same slot-lock argument as the acquisition above.
                     state = self.ready.wait(state).expect("slot lock");
                 }
                 SlotState::Consumed => {
@@ -277,6 +282,7 @@ impl ServerCore {
         }
         let slot = Arc::new(ResponseSlot::default());
         {
+            // UNWRAP: lock poisoning — a worker panicked holding the queue; the server is already lost.
             let mut state = self.state.lock().expect("queue lock");
             if state.shutting_down {
                 return Err(ServeError::ShuttingDown);
@@ -317,16 +323,19 @@ impl ServerCore {
     /// requests are still drained and answered; new submits fail with
     /// [`ServeError::ShuttingDown`].
     pub(crate) fn begin_shutdown(&self) {
+        // UNWRAP: lock poisoning — shutdown on a poisoned queue has nothing left to protect.
         self.state.lock().expect("queue lock").shutting_down = true;
         self.not_empty.notify_all();
     }
 
     pub(crate) fn is_shutting_down(&self) -> bool {
+        // UNWRAP: lock poisoning — same queue-lock argument as `begin_shutdown`.
         self.state.lock().expect("queue lock").shutting_down
     }
 
     /// Number of requests currently queued (not yet claimed by a worker).
     pub(crate) fn queued(&self) -> usize {
+        // UNWRAP: lock poisoning — same queue-lock argument as `begin_shutdown`.
         self.state.lock().expect("queue lock").queue.len()
     }
 }
@@ -395,6 +404,7 @@ pub(crate) fn worker_loop(core: &ServerCore, worker: usize) {
     let mut scratch = WorkerScratch::for_core(core);
     loop {
         {
+            // UNWRAP: lock poisoning — a sibling worker panicked holding the queue; die with it.
             let mut state = core.state.lock().expect("queue lock");
             loop {
                 if !state.queue.is_empty() {
@@ -403,8 +413,10 @@ pub(crate) fn worker_loop(core: &ServerCore, worker: usize) {
                 if state.shutting_down {
                     return;
                 }
+                // UNWRAP: lock poisoning — same queue-lock argument as the acquisition above.
                 state = core.not_empty.wait(state).expect("queue lock");
             }
+            // UNWRAP: infallible — the wait loop above only exits with a non-empty queue.
             let first = state.queue.pop_front().expect("non-empty checked");
             let model = first.model;
             scratch.batch.push(first);
@@ -427,6 +439,7 @@ pub(crate) fn worker_loop(core: &ServerCore, worker: usize) {
                 let (next, timeout) = core
                     .not_empty
                     .wait_timeout(state, deadline - now)
+                    // UNWRAP: lock poisoning — same queue-lock argument as the acquisition above.
                     .expect("queue lock");
                 state = next;
                 if timeout.timed_out() {

@@ -14,6 +14,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+// nrsnn-lint: allow(forbidden-api) -- Instant anchors the process epoch
+// exactly once, in MetricsEpoch::new; every later stamp derives from the
+// obs MonotonicClock against that anchor.
 use std::time::Instant;
 
 use nrsnn_obs::{
@@ -100,6 +103,8 @@ impl Metrics {
 
     /// Hands out the next server-unique trace id (starting at 1).
     pub(crate) fn next_trace_id(&self) -> u64 {
+        // ORDERING: Relaxed — fetch_add is already atomic, so ids are
+        // unique; no other memory is published alongside the counter.
         self.next_trace_id.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -133,6 +138,7 @@ impl Metrics {
 
     pub(crate) fn record_batch(&self, worker: usize, size: usize) {
         self.batches.incr(worker);
+        // UNWRAP: lock poisoning — a recorder panicked mid-tally; stats are already suspect.
         let mut tally = self.batch_sizes[worker].lock().expect("batch-size lock");
         if tally.len() <= size {
             tally.resize(size + 1, 0);
@@ -174,6 +180,7 @@ impl Metrics {
         // both nonzero.
         let mut merged: Vec<u64> = Vec::new();
         for shard in &self.batch_sizes {
+            // UNWRAP: lock poisoning — same batch-size-lock argument as `record_batch`.
             let tally = shard.lock().expect("batch-size lock");
             if tally.len() > merged.len() {
                 merged.resize(tally.len(), 0);

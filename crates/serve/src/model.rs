@@ -384,7 +384,9 @@ impl ModelSpec {
         }
         let mut params = self.weights.params.iter();
         let mut take_pair = |what: &str, dims: &[usize]| -> Result<(Tensor, Tensor)> {
+            // UNWRAP: infallible — the parameter count was checked against `expected` above.
             let weights = params.next().expect("count checked above").clone();
+            // UNWRAP: infallible — same count check covers the bias tensor.
             let bias = params.next().expect("count checked above").clone();
             if weights.dims() != dims {
                 return Err(ServeError::Model(format!(
@@ -476,6 +478,8 @@ impl ModelSpec {
 
     /// Serializes the specification as compact JSON.
     pub fn to_json(&self) -> String {
+        // UNWRAP: infallible — `ModelSpec` contains no map keys or
+        // non-string-keyed data the JSON shim can reject.
         serde_json::to_string(self).expect("shim serialization is infallible")
     }
 

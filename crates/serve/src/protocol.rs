@@ -470,6 +470,7 @@ impl Deserialize for Response {
 
 /// Serializes a request or response as one newline-terminated wire line.
 pub fn encode_line<T: Serialize>(value: &T) -> String {
+    // UNWRAP: infallible — request/response types serialize to plain structs and enums the JSON shim always accepts.
     let mut line = serde_json::to_string(value).expect("shim serialization is infallible");
     line.push('\n');
     line

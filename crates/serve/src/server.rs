@@ -55,10 +55,15 @@ fn retry_while_busy<F>(mut attempt: F) -> Result<InferenceReply>
 where
     F: FnMut() -> Result<InferenceReply>,
 {
+    // nrsnn-lint: allow(forbidden-api) -- client-side retry deadline; never
+    // observable in replies or metrics.
     let deadline = std::time::Instant::now() + RETRY_BUDGET;
     loop {
         match attempt() {
+            // nrsnn-lint: allow(forbidden-api) -- same retry deadline check.
             Err(e) if e.is_retryable() && std::time::Instant::now() < deadline => {
+                // nrsnn-lint: allow(forbidden-api) -- bounded client backoff
+                // (RETRY_BACKOFF) between busy retries; no waiter to signal.
                 std::thread::sleep(RETRY_BACKOFF);
             }
             other => return other,
@@ -147,6 +152,9 @@ impl Server {
                 .name(format!("nrsnn-serve-accept-{}", local_addr.port()))
                 .spawn(move || {
                     for stream in listener.incoming() {
+                        // ORDERING: SeqCst pairs with the SeqCst store in shutdown(); the
+                        // flag is checked after waking, so a wake and a set flag can't
+                        // reorder past each other and miss the stop.
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
@@ -160,6 +168,7 @@ impl Server {
                                 // Reap finished connections as we go so a
                                 // long-lived server does not accumulate one
                                 // dead JoinHandle per connection ever served.
+                                // UNWRAP: lock poisoning — a connection thread panicked mid-reap; propagate.
                                 let mut list = connections.lock().expect("connection list");
                                 list.retain(|h| !h.is_finished());
                                 list.push(handle);
@@ -169,6 +178,9 @@ impl Server {
                             // leave the server running but unreachable.
                             // Back off briefly and keep accepting; only the
                             // stop flag ends the loop.
+                            // nrsnn-lint: allow(forbidden-api) -- accept()
+                            // backoff: there is no event to wait on, only
+                            // the OS retrying; bounded by TCP_POLL_INTERVAL.
                             Err(_) => std::thread::sleep(TCP_POLL_INTERVAL),
                         }
                     }
@@ -249,6 +261,9 @@ struct TcpFrontEnd {
 impl TcpFrontEnd {
     /// Raises the stop flag and pokes the listener awake.
     fn signal(&self) {
+        // ORDERING: SeqCst pairs with the SeqCst loads in every worker and
+        // listener loop; the strongest ordering keeps the stop protocol
+        // obviously correct (shutdown is far off the hot path).
         self.stop.store(true, Ordering::SeqCst);
         // The accept loop blocks in `incoming`; a throwaway connection
         // makes it re-check the flag.  A wildcard bind address
@@ -270,6 +285,7 @@ impl TcpFrontEnd {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        // UNWRAP: lock poisoning — joining threads after a panic has nothing left to save.
         let handles = std::mem::take(&mut *self.connections.lock().expect("connection list"));
         for handle in handles {
             let _ = handle.join();
@@ -294,6 +310,9 @@ fn write_all_polling(writer: &mut TcpStream, bytes: &[u8], stop: &AtomicBool) ->
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // ORDERING: SeqCst pairs with the SeqCst store in shutdown(); the
+                // flag is checked after waking, so a wake and a set flag can't
+                // reorder past each other and miss the stop.
                 if stop.load(Ordering::SeqCst) {
                     return false;
                 }
@@ -335,6 +354,9 @@ fn handle_connection(core: &ServerCore, stop: &AtomicBool, stream: TcpStream) {
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // ORDERING: SeqCst pairs with the SeqCst store in shutdown(); the
+                // flag is checked after waking, so a wake and a set flag can't
+                // reorder past each other and miss the stop.
                 if stop.load(Ordering::SeqCst) || core.is_shutting_down() {
                     return;
                 }
@@ -382,6 +404,9 @@ fn handle_json_connection(
             {
                 // Partial data stays in `line`; the next read appends the
                 // rest of the request.
+                // ORDERING: SeqCst pairs with the SeqCst store in shutdown(); the
+                // flag is checked after waking, so a wake and a set flag can't
+                // reorder past each other and miss the stop.
                 if stop.load(Ordering::SeqCst) || core.is_shutting_down() {
                     return;
                 }
@@ -426,6 +451,9 @@ fn read_full_polling(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // ORDERING: SeqCst pairs with the SeqCst store in shutdown(); the
+                // flag is checked after waking, so a wake and a set flag can't
+                // reorder past each other and miss the stop.
                 if stop.load(Ordering::SeqCst) || core.is_shutting_down() {
                     return ReadFull::Aborted;
                 }

@@ -27,6 +27,9 @@
 //! existing callers keep their API and gain the allocation-free inner loop.
 
 use std::ops::Range;
+// nrsnn-lint: allow(forbidden-api) -- stage tracing needs a raw monotonic
+// stamp and snn must stay obs-free (layering); serve converts these spans
+// onto the obs epoch at ingest.
 use std::time::Instant;
 
 use nrsnn_tensor::{

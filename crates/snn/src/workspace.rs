@@ -47,6 +47,9 @@
 //! # }
 //! ```
 
+// nrsnn-lint: allow(forbidden-api) -- stage tracing needs a raw monotonic
+// stamp and snn must stay obs-free (layering); serve converts these spans
+// onto the obs epoch at ingest.
 use std::time::Instant;
 
 use crate::{CodingConfig, CodingScratch, SnnLayer, SnnNetwork, SpikeRaster};

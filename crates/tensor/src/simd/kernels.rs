@@ -58,17 +58,24 @@ pub(crate) unsafe fn matvec_generic<V: F32x8>(
     let xp = x.as_ptr();
     let has_bias = !bias.is_empty();
     for (i, o) in out.iter_mut().enumerate() {
+        // SAFETY: `i < m`, so row `i*n..i*n+n` lies inside `a` (len `m*n`).
         let row = unsafe { ap.add(i * n) };
+        // SAFETY: register-only lane op; the backend is runnable per dispatch.
         let mut acc = unsafe { V::zero() };
         let mut b = 0usize;
         while b < nb {
+            // SAFETY: `b + 8 <= nb <= n == x.len()` — the block is inside `x`.
             let xv = unsafe { V::load(xp.add(b)) };
+            // SAFETY: `b + 8 <= nb <= n` — the block is inside row `i` of `a`.
             let rv = unsafe { V::load(row.add(b)) };
+            // SAFETY: register-only lane op; the backend is runnable per dispatch.
             acc = unsafe { acc.add(rv.mul(xv)) };
             b += BLOCK;
         }
+        // SAFETY: register-only lane op; the backend is runnable per dispatch.
         let mut s = unsafe { acc.reduce() };
         for j in nb..n {
+            // SAFETY: tail `j < n`, inside both the row span and `x`.
             s += unsafe { *row.add(j) * *xp.add(j) };
         }
         *o = if has_bias {
@@ -165,12 +172,14 @@ pub(crate) unsafe fn matvec_sparse_generic<V: F32x8>(
     let xp = x.as_ptr();
     with_lane_buckets(body, |buckets, starts| {
         for (i, o) in out.iter_mut().enumerate() {
+            // SAFETY: `i < m`, so row `i*n..i*n+n` lies inside `a` (len `m*n`).
             let row = unsafe { ap.add(i * n) };
             let mut lanes = [0.0f32; BLOCK];
             for l in 0..BLOCK {
                 let mut acc = 0.0f32;
                 for &ju in &buckets[starts[l]..starts[l + 1]] {
                     let j = ju as usize;
+                    // SAFETY: `j < nb <= n` (bucketed body index), inside row and `x`.
                     acc += unsafe { *row.add(j) * *xp.add(j) };
                 }
                 lanes[l] = acc;
@@ -178,6 +187,7 @@ pub(crate) unsafe fn matvec_sparse_generic<V: F32x8>(
             let mut s = reduce8(lanes);
             for &ju in tail {
                 let j = ju as usize;
+                // SAFETY: tail `j` came from `active`, all `< n` per the contract.
                 s += unsafe { *row.add(j) * *xp.add(j) };
             }
             *o = seed_from_bias(bias[i]) + s;
@@ -219,19 +229,24 @@ pub(crate) unsafe fn matmul_generic<V: F32x8>(
     let has_bias = !bias.is_empty();
     let biasp = bias.as_ptr();
     for i in 0..m {
+        // SAFETY: `i < m`, so row `i*n..i*n+n` lies inside `out` (len `m*n`).
         let orow = unsafe { out.as_mut_ptr().add(i * n) };
         // Seed the output row: canonicalised bias (b_j + 0.0) or +0.0.
         let mut j = 0usize;
         while j < nb {
             let seed = if has_bias {
+                // SAFETY: `j + 8 <= nb <= n == bias.len()` on this branch.
                 unsafe { V::load(biasp.add(j)).add(V::zero()) }
             } else {
+                // SAFETY: register-only lane op; the backend is runnable per dispatch.
                 unsafe { V::zero() }
             };
+            // SAFETY: `j + 8 <= nb <= n` — the block is inside output row `i`.
             unsafe { seed.store(orow.add(j)) };
             j += BLOCK;
         }
         for j in nb..n {
+            // SAFETY: tail `j < n`, inside output row `i` and (if present) `bias`.
             unsafe {
                 *orow.add(j) = if has_bias {
                     seed_from_bias(*biasp.add(j))
@@ -241,20 +256,27 @@ pub(crate) unsafe fn matmul_generic<V: F32x8>(
             };
         }
         for kk in 0..k {
+            // SAFETY: `i < m`, `kk < k`, so the flat index is inside `a` (len `m*k`).
             let aik = unsafe { *ap.add(i * k + kk) };
             if aik == 0.0 {
                 continue; // bitwise no-op: accumulators are never -0.0
             }
+            // SAFETY: register-only lane op; the backend is runnable per dispatch.
             let av = unsafe { V::splat(aik) };
+            // SAFETY: `kk < k`, so row `kk*n..kk*n+n` lies inside `b` (len `k*n`).
             let brow = unsafe { bp.add(kk * n) };
             let mut j = 0usize;
             while j < nb {
+                // SAFETY: `j + 8 <= nb <= n` — the block is inside output row `i`.
                 let ov = unsafe { V::load(orow.add(j)) };
+                // SAFETY: `j + 8 <= nb <= n` — the block is inside row `kk` of `b`.
                 let bv = unsafe { V::load(brow.add(j)) };
+                // SAFETY: register mul/add plus a store into the in-bounds block above.
                 unsafe { ov.add(av.mul(bv)).store(orow.add(j)) };
                 j += BLOCK;
             }
             for j in nb..n {
+                // SAFETY: tail `j < n`, inside both the output row and row `kk` of `b`.
                 unsafe { *orow.add(j) += aik * *brow.add(j) };
             }
         }
@@ -276,13 +298,18 @@ pub(crate) unsafe fn sum_gather_generic<V: F32x8>(table: &[f32], idx: &[u32]) ->
     let n = idx.len();
     let nb = n - (n % BLOCK);
     let ip = idx.as_ptr();
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let mut acc = unsafe { V::zero() };
     let mut b = 0usize;
     while b < nb {
+        // SAFETY: `b + 8 <= nb <= idx.len()` and every index is `< table.len()`
+        // per this fn's contract, so the gather stays inside `table`.
         let g = unsafe { V::gather(table, ip.add(b)) };
+        // SAFETY: register-only lane op; the backend is runnable per dispatch.
         acc = unsafe { acc.add(g) };
         b += BLOCK;
     }
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let mut s = unsafe { acc.reduce() };
     for &t in &idx[nb..] {
         s += table[t as usize];
@@ -310,16 +337,22 @@ pub(crate) unsafe fn encode_ratio_generic<V: F32x8>(x: &[f32], threshold: f32, o
     let nb = n - (n % BLOCK);
     let xp = x.as_ptr();
     let op = out.as_mut_ptr();
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let zero = unsafe { V::zero() };
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let theta = unsafe { V::splat(threshold) };
     let mut i = 0usize;
     while i < nb {
+        // SAFETY: `i + 8 <= nb <= n == x.len()` — the block is inside `x`.
         let v = unsafe { V::load(xp.add(i)) };
+        // SAFETY: register-only lane op; the backend is runnable per dispatch.
         let r = unsafe { v.max(zero).min(theta).div(theta) };
+        // SAFETY: `i + 8 <= nb <= n == out.len()` — the block is inside `out`.
         unsafe { r.store(op.add(i)) };
         i += BLOCK;
     }
     for j in nb..n {
+        // SAFETY: tail `j < n`, inside both `x` and `out` (equal lengths).
         unsafe { *op.add(j) = super::clamp_ratio(*xp.add(j), threshold) };
     }
 }
@@ -352,21 +385,32 @@ pub(crate) unsafe fn encode_quant_generic<V: F32x8>(
     let nb = n - (n % BLOCK);
     let xp = x.as_ptr();
     let op = out.as_mut_ptr();
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let zero = unsafe { V::zero() };
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let theta = unsafe { V::splat(threshold) };
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let sc = unsafe { V::splat(scale) };
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let half = unsafe { V::splat(0.5) };
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let one = unsafe { V::splat(1.0) };
     let mut i = 0usize;
     while i < nb {
+        // SAFETY: `i + 8 <= nb <= n == x.len()` — the block is inside `x`.
         let v = unsafe { V::load(xp.add(i)) };
+        // SAFETY: register-only lane op; the backend is runnable per dispatch.
         let y = unsafe { v.max(zero).min(theta).div(theta).mul(sc) };
+        // SAFETY: register-only lane op; the backend is runnable per dispatch.
         let t = unsafe { y.trunc() };
+        // SAFETY: register-only lane op; the backend is runnable per dispatch.
         let bump = unsafe { y.sub(t).cmp_ge(half).and(one) };
+        // SAFETY: register ops plus a store into `out[i..i+8]`, in bounds as above.
         unsafe { t.add(bump).store(op.add(i)) };
         i += BLOCK;
     }
     for j in nb..n {
+        // SAFETY: tail `j < n`, inside both `x` and `out` (equal lengths).
         unsafe { *op.add(j) = super::quantize_value(*xp.add(j), threshold, scale) };
     }
 }
@@ -383,15 +427,20 @@ pub(crate) unsafe fn scale_ratio_generic<V: F32x8>(io: &mut [f32], mul: f32, div
     let n = io.len();
     let nb = n - (n % BLOCK);
     let p = io.as_mut_ptr();
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let mv = unsafe { V::splat(mul) };
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let dv = unsafe { V::splat(div) };
     let mut i = 0usize;
     while i < nb {
+        // SAFETY: `i + 8 <= nb <= n == io.len()` — the block is inside `io`.
         let v = unsafe { V::load(p.add(i)) };
+        // SAFETY: register ops plus a store back into the same in-bounds block.
         unsafe { v.mul(mv).div(dv).store(p.add(i)) };
         i += BLOCK;
     }
     for j in nb..n {
+        // SAFETY: tail `j < n == io.len()`.
         unsafe { *p.add(j) = *p.add(j) * mul / div };
     }
 }
@@ -432,19 +481,27 @@ pub(crate) unsafe fn phase_bits_generic<V: F32x8>(
     let n = x.len();
     let nb = n - (n % BLOCK);
     let xp = x.as_ptr();
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let zero = unsafe { V::zero() };
+    // SAFETY: register-only lane op; the backend is runnable per dispatch.
     let theta = unsafe { V::splat(threshold) };
     let mut i = 0usize;
     while i < nb {
+        // SAFETY: `i + 8 <= nb <= n == x.len()` — the block is inside `x`.
         let v = unsafe { V::load(xp.add(i)) };
+        // SAFETY: register-only lane op; the backend is runnable per dispatch.
         let ratio = unsafe { v.max(zero).min(theta).div(theta) };
         // Lanes whose ratio <= 0.0 must produce pattern 0 (see above).
+        // SAFETY: register-only lane op; the backend is runnable per dispatch.
         let silent = unsafe { zero.cmp_ge(ratio).movemask() };
         let mut rem = ratio;
         let mut lane_bits = [0u64; BLOCK];
         for (k, (&w, &th)) in weights.iter().zip(thresholds).enumerate() {
+            // SAFETY: register-only lane op; the backend is runnable per dispatch.
             let fire = unsafe { rem.cmp_ge(V::splat(th)) };
+            // SAFETY: register-only lane op; the backend is runnable per dispatch.
             rem = unsafe { rem.sub(fire.and(V::splat(w))) };
+            // SAFETY: register-only lane op; the backend is runnable per dispatch.
             let m = unsafe { fire.movemask() };
             for (l, lb) in lane_bits.iter_mut().enumerate() {
                 *lb |= (((m >> l) & 1) as u64) << k;
@@ -456,6 +513,7 @@ pub(crate) unsafe fn phase_bits_generic<V: F32x8>(
         i += BLOCK;
     }
     for (j, b) in bits.iter_mut().enumerate().skip(nb) {
+        // SAFETY: tail `j < n == x.len()`; the helper only reads the value.
         *b = unsafe { super::phase_bits_value(*xp.add(j), threshold, weights, thresholds) };
     }
 }
@@ -470,10 +528,12 @@ unsafe fn copy_span<V: F32x8>(src: *const f32, dst: *mut f32, len: usize) {
     let nb = len - (len % BLOCK);
     let mut i = 0usize;
     while i < nb {
+        // SAFETY: `i + 8 <= nb <= len`, inside the caller-guaranteed spans.
         unsafe { V::load(src.add(i)).store(dst.add(i)) };
         i += BLOCK;
     }
     while i < len {
+        // SAFETY: `i < len`, inside the caller-guaranteed spans.
         unsafe { *dst.add(i) = *src.add(i) };
         i += 1;
     }
@@ -488,10 +548,12 @@ unsafe fn zero_span<V: F32x8>(dst: *mut f32, len: usize) {
     let nb = len - (len % BLOCK);
     let mut i = 0usize;
     while i < nb {
+        // SAFETY: `i + 8 <= nb <= len`, inside the caller-guaranteed span.
         unsafe { V::zero().store(dst.add(i)) };
         i += BLOCK;
     }
     while i < len {
+        // SAFETY: `i < len`, inside the caller-guaranteed span.
         unsafe { *dst.add(i) = 0.0 };
         i += 1;
     }
@@ -540,13 +602,20 @@ pub(crate) unsafe fn im2col_generic<V: F32x8>(
             let hi = (w as isize - ix0).clamp(0, k as isize) as usize;
             for ci in 0..c {
                 for ky in 0..k {
+                    // SAFETY: `base + ci*k*k + ky*k + k <= oh*ow*patch_len == out.len()`
+                    // for every (oy, ox, ci, ky) in these loop ranges.
                     let dst = unsafe { op.add(base + ci * k * k + ky * k) };
                     let iy = (oy * s + ky) as isize - p as isize;
                     if iy < 0 || iy as usize >= h {
+                        // SAFETY: the destination row `dst..dst+k` is inside `out` (see above).
                         unsafe { zero_span::<V>(dst, k) };
                         continue;
                     }
+                    // SAFETY: `0 <= iy < h`, so the input row lies inside `x` (len `c*h*w`).
                     let src_row = unsafe { xp.add(ci * h * w + iy as usize * w) };
+                    // SAFETY: prefix/suffix zero-fills and the copy cover exactly
+                    // `dst..dst+k` (in bounds above); the copied span
+                    // `ix0+lo..ix0+hi` is the clamped in-bounds part of the row.
                     unsafe {
                         zero_span::<V>(dst, lo);
                         copy_span::<V>(src_row.offset(ix0 + lo as isize), dst.add(lo), hi - lo);

@@ -226,10 +226,15 @@ fn backend_from_code(code: u8) -> Option<SimdBackend> {
 /// an invalid override cannot surface as a `Result` here; processes that
 /// want the typed error validate with [`resolve_env`] at startup.
 pub fn active_backend() -> SimdBackend {
+    // ORDERING: Relaxed — ACTIVE is a standalone u8 cache cell; no other
+    // memory is published through it, and racing first-time initialisers
+    // all store the same resolved code, so any interleaving reads a
+    // valid value.
     if let Some(b) = backend_from_code(ACTIVE.load(Ordering::Relaxed)) {
         return b;
     }
     let resolved = resolve_env().unwrap_or_else(|err| panic!("{err}"));
+    // ORDERING: Relaxed — see the load above; the value is self-contained.
     ACTIVE.store(backend_code(resolved), Ordering::Relaxed);
     resolved
 }
@@ -240,6 +245,9 @@ pub fn active_backend() -> SimdBackend {
 /// and the per-ISA benches; results never depend on the choice.
 pub fn set_backend(requested: SimdBackend) -> SimdBackend {
     let resolved = requested.resolve();
+    // ORDERING: Relaxed — the code is self-contained (no payload to
+    // publish); dispatch sites tolerate reading the old backend during a
+    // switch, results are bit-identical either way.
     ACTIVE.store(backend_code(resolved), Ordering::Relaxed);
     resolved
 }
@@ -255,6 +263,8 @@ mod x86 {
         ($feature:literal, $vty:ty) => {
             use crate::simd::kernels;
 
+            // SAFETY: thin per-ISA wrapper; callers must uphold the generic
+            // kernel's `# Safety` contract, forwarded verbatim.
             #[target_feature(enable = $feature)]
             pub(crate) unsafe fn matvec(
                 a: &[f32],
@@ -264,9 +274,13 @@ mod x86 {
                 bias: &[f32],
                 out: &mut [f32],
             ) {
+                // SAFETY: same contract as the callee; the `target_feature`
+                // gate matches the instantiated backend's ISA.
                 unsafe { kernels::matvec_generic::<$vty>(a, m, n, x, bias, out) }
             }
 
+            // SAFETY: thin per-ISA wrapper; callers must uphold the generic
+            // kernel's `# Safety` contract, forwarded verbatim.
             #[target_feature(enable = $feature)]
             #[allow(clippy::too_many_arguments)]
             pub(crate) unsafe fn matvec_sparse(
@@ -278,9 +292,13 @@ mod x86 {
                 bias: &[f32],
                 out: &mut [f32],
             ) {
+                // SAFETY: same contract as the callee; the `target_feature`
+                // gate matches the instantiated backend's ISA.
                 unsafe { kernels::matvec_sparse_generic::<$vty>(a, m, n, x, active, bias, out) }
             }
 
+            // SAFETY: thin per-ISA wrapper; callers must uphold the generic
+            // kernel's `# Safety` contract, forwarded verbatim.
             #[target_feature(enable = $feature)]
             #[allow(clippy::too_many_arguments)]
             pub(crate) unsafe fn matmul(
@@ -292,19 +310,31 @@ mod x86 {
                 bias: &[f32],
                 out: &mut [f32],
             ) {
+                // SAFETY: same contract as the callee; the `target_feature`
+                // gate matches the instantiated backend's ISA.
                 unsafe { kernels::matmul_generic::<$vty>(a, m, k, b, n, bias, out) }
             }
 
+            // SAFETY: thin per-ISA wrapper; callers must uphold the generic
+            // kernel's `# Safety` contract, forwarded verbatim.
             #[target_feature(enable = $feature)]
             pub(crate) unsafe fn sum_gather(table: &[f32], idx: &[u32]) -> f32 {
+                // SAFETY: same contract as the callee; the `target_feature`
+                // gate matches the instantiated backend's ISA.
                 unsafe { kernels::sum_gather_generic::<$vty>(table, idx) }
             }
 
+            // SAFETY: thin per-ISA wrapper; callers must uphold the generic
+            // kernel's `# Safety` contract, forwarded verbatim.
             #[target_feature(enable = $feature)]
             pub(crate) unsafe fn encode_ratio(x: &[f32], threshold: f32, out: &mut [f32]) {
+                // SAFETY: same contract as the callee; the `target_feature`
+                // gate matches the instantiated backend's ISA.
                 unsafe { kernels::encode_ratio_generic::<$vty>(x, threshold, out) }
             }
 
+            // SAFETY: thin per-ISA wrapper; callers must uphold the generic
+            // kernel's `# Safety` contract, forwarded verbatim.
             #[target_feature(enable = $feature)]
             pub(crate) unsafe fn encode_quant(
                 x: &[f32],
@@ -312,14 +342,22 @@ mod x86 {
                 scale: f32,
                 out: &mut [f32],
             ) {
+                // SAFETY: same contract as the callee; the `target_feature`
+                // gate matches the instantiated backend's ISA.
                 unsafe { kernels::encode_quant_generic::<$vty>(x, threshold, scale, out) }
             }
 
+            // SAFETY: thin per-ISA wrapper; callers must uphold the generic
+            // kernel's `# Safety` contract, forwarded verbatim.
             #[target_feature(enable = $feature)]
             pub(crate) unsafe fn scale_ratio(io: &mut [f32], mul: f32, div: f32) {
+                // SAFETY: same contract as the callee; the `target_feature`
+                // gate matches the instantiated backend's ISA.
                 unsafe { kernels::scale_ratio_generic::<$vty>(io, mul, div) }
             }
 
+            // SAFETY: thin per-ISA wrapper; callers must uphold the generic
+            // kernel's `# Safety` contract, forwarded verbatim.
             #[target_feature(enable = $feature)]
             pub(crate) unsafe fn phase_bits(
                 x: &[f32],
@@ -328,11 +366,15 @@ mod x86 {
                 thresholds: &[f32],
                 bits: &mut [u64],
             ) {
+                // SAFETY: same contract as the callee; the `target_feature`
+                // gate matches the instantiated backend's ISA.
                 unsafe {
                     kernels::phase_bits_generic::<$vty>(x, threshold, weights, thresholds, bits)
                 }
             }
 
+            // SAFETY: thin per-ISA wrapper; callers must uphold the generic
+            // kernel's `# Safety` contract, forwarded verbatim.
             #[target_feature(enable = $feature)]
             #[allow(clippy::too_many_arguments)]
             pub(crate) unsafe fn im2col(
@@ -347,6 +389,8 @@ mod x86 {
                 ow: usize,
                 out: &mut [f32],
             ) {
+                // SAFETY: same contract as the callee; the `target_feature`
+                // gate matches the instantiated backend's ISA.
                 unsafe { kernels::im2col_generic::<$vty>(x, c, h, w, k, s, p, oh, ow, out) }
             }
         };
@@ -369,10 +413,16 @@ mod x86 {
 macro_rules! dispatch {
     ($backend:expr, $generic:ident :: $isa_fn:ident ( $($arg:expr),* $(,)? )) => {
         match $backend.resolve() {
+            // SAFETY: the scalar instantiation needs no ISA; the expansion
+            // site asserted the kernel's slice contracts (macro doc above).
             SimdBackend::Scalar => unsafe { kernels::$generic::<vec::ScalarV>($($arg),*) },
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: resolve() returned Sse2, so the ISA is present; slice
+            // contracts asserted at the expansion site.
             SimdBackend::Sse2 => unsafe { x86::sse2::$isa_fn($($arg),*) },
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: resolve() returned Avx2, so the ISA is present; slice
+            // contracts asserted at the expansion site.
             SimdBackend::Avx2 => unsafe { x86::avx2::$isa_fn($($arg),*) },
             #[cfg(not(target_arch = "x86_64"))]
             _ => unreachable!("resolve() returns Scalar on non-x86_64"),

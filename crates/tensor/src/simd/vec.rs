@@ -33,20 +33,44 @@ pub const BLOCK: usize = 8;
 /// dispatch in [`super::SimdBackend::resolve`]).
 pub(crate) trait F32x8: Copy {
     /// All lanes `+0.0`.
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn zero() -> Self;
     /// All lanes `v`.
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn splat(v: f32) -> Self;
     /// Loads lanes `0..8` from `src` (unaligned).
+    ///
+    /// # Safety
+    /// `src..src+8` must be readable, properly aligned for `f32` reads.
     unsafe fn load(src: *const f32) -> Self;
     /// Stores lanes `0..8` to `dst` (unaligned).
+    ///
+    /// # Safety
+    /// `dst..dst+8` must be writable, properly aligned for `f32` writes.
     unsafe fn store(self, dst: *mut f32);
     /// Lane-wise IEEE single add.
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn add(self, rhs: Self) -> Self;
     /// Lane-wise IEEE single multiply.
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn mul(self, rhs: Self) -> Self;
     /// Lane-wise IEEE single subtract.
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn sub(self, rhs: Self) -> Self;
     /// Lane-wise IEEE single divide.
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn div(self, rhs: Self) -> Self;
     /// Lane-wise maximum with the **canonical x86 semantics**
     /// `max(a, b) = if a > b { a } else { b }` — returns the *second*
@@ -54,9 +78,15 @@ pub(crate) trait F32x8: Copy {
     /// like `maxps`.  This is *not* `f32::max` (which is NaN-commutative);
     /// the scalar backend and [`super::lane_max`] replicate the x86 rule so
     /// every backend agrees bit for bit.
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn max(self, rhs: Self) -> Self;
     /// Lane-wise minimum with the canonical x86 semantics
     /// `min(a, b) = if a < b { a } else { b }` (see [`F32x8::max`]).
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn min(self, rhs: Self) -> Self;
     /// Lane-wise round-toward-zero to a whole number, via the x86
     /// `cvttps2dq`/`cvtdq2ps` pair (SSE2 has no float rounding
@@ -64,23 +94,43 @@ pub(crate) trait F32x8: Copy {
     /// `|x| < 2^31`; outside that domain the i32 round-trip saturates
     /// differently per backend.  The coding kernels keep lanes in
     /// `[0, 2^24]`, where the round-trip is exact and equals `f32::trunc`.
+    ///
+    /// # Safety
+    /// No memory preconditions; the `|x| < 2^31` domain bound above is a
+    /// values contract, not a soundness one.
     unsafe fn trunc(self) -> Self;
     /// Lane-wise ordered `>=` compare producing a mask: all-ones bits where
     /// `self >= rhs`, `+0.0` otherwise.  Unordered (NaN) lanes compare
     /// false, exactly like `cmpps`.
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn cmp_ge(self, rhs: Self) -> Self;
     /// Lane-wise bitwise AND — combines a [`F32x8::cmp_ge`] mask with a
     /// value vector (`mask & v` keeps `v` in true lanes, `+0.0` in false
     /// lanes).
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn and(self, rhs: Self) -> Self;
     /// Packs the sign bit of each lane into bit `l` of the result, exactly
     /// like `movmskps`.  Applied to a [`F32x8::cmp_ge`] mask this yields
     /// one bit per lane of the compare outcome.
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn movemask(self) -> u32;
     /// Lane `l` = `table[idx[l]]` for `idx[0..8]`; all indices must be in
     /// bounds (no backend checks them).
+    ///
+    /// # Safety
+    /// `idx..idx+8` must be readable and every index must be in bounds
+    /// for `table`.
     unsafe fn gather(table: &[f32], idx: *const u32) -> Self;
     /// Horizontal sum in the canonical fixed tree (see module docs).
+    ///
+    /// # Safety
+    /// No preconditions beyond the trait ISA contract — register-only.
     unsafe fn reduce(self) -> f32;
 }
 
@@ -91,32 +141,44 @@ pub(crate) trait F32x8: Copy {
 pub(crate) struct ScalarV([f32; 8]);
 
 impl F32x8 for ScalarV {
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn zero() -> Self {
         ScalarV([0.0; 8])
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn splat(v: f32) -> Self {
         ScalarV([v; 8])
     }
 
+    // SAFETY: the only unsafe op is the lane load below, inside the
+    // caller-guaranteed `src..src+8` readable span.
     #[inline(always)]
     unsafe fn load(src: *const f32) -> Self {
         let mut lanes = [0.0f32; 8];
         for (l, lane) in lanes.iter_mut().enumerate() {
+            // SAFETY: `l < 8`, within the caller-guaranteed readable span.
             *lane = unsafe { *src.add(l) };
         }
         ScalarV(lanes)
     }
 
+    // SAFETY: the only unsafe op is the lane store below, inside the
+    // caller-guaranteed `dst..dst+8` writable span.
     #[inline(always)]
     unsafe fn store(self, dst: *mut f32) {
         for (l, lane) in self.0.iter().enumerate() {
+            // SAFETY: `l < 8`, within the caller-guaranteed writable span.
             unsafe { *dst.add(l) = *lane };
         }
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn add(self, rhs: Self) -> Self {
         let mut lanes = self.0;
@@ -126,6 +188,8 @@ impl F32x8 for ScalarV {
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn mul(self, rhs: Self) -> Self {
         let mut lanes = self.0;
@@ -135,6 +199,8 @@ impl F32x8 for ScalarV {
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn sub(self, rhs: Self) -> Self {
         let mut lanes = self.0;
@@ -144,6 +210,8 @@ impl F32x8 for ScalarV {
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn div(self, rhs: Self) -> Self {
         let mut lanes = self.0;
@@ -153,6 +221,8 @@ impl F32x8 for ScalarV {
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn max(self, rhs: Self) -> Self {
         let mut lanes = self.0;
@@ -162,6 +232,8 @@ impl F32x8 for ScalarV {
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn min(self, rhs: Self) -> Self {
         let mut lanes = self.0;
@@ -171,6 +243,8 @@ impl F32x8 for ScalarV {
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn trunc(self) -> Self {
         // Within the documented |x| < 2^31 precondition `f32::trunc` is
@@ -182,6 +256,8 @@ impl F32x8 for ScalarV {
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn cmp_ge(self, rhs: Self) -> Self {
         let mut lanes = self.0;
@@ -195,6 +271,8 @@ impl F32x8 for ScalarV {
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn and(self, rhs: Self) -> Self {
         let mut lanes = self.0;
@@ -204,6 +282,8 @@ impl F32x8 for ScalarV {
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn movemask(self) -> u32 {
         let mut m = 0u32;
@@ -213,16 +293,22 @@ impl F32x8 for ScalarV {
         m
     }
 
+    // SAFETY: reads `idx..idx+8` and indexes `table`, both guaranteed
+    // by the trait contract (indices in bounds, idx span readable).
     #[inline(always)]
     unsafe fn gather(table: &[f32], idx: *const u32) -> Self {
         let mut lanes = [0.0f32; 8];
         for (l, lane) in lanes.iter_mut().enumerate() {
+            // SAFETY: `l < 8`, within the caller-guaranteed `idx` span.
             let i = unsafe { *idx.add(l) } as usize;
+            // SAFETY: every gathered index is in bounds per the trait contract.
             *lane = unsafe { *table.get_unchecked(i) };
         }
         ScalarV(lanes)
     }
 
+    // SAFETY: trivially safe — plain arithmetic on owned lanes; `unsafe`
+    // only to match the trait signature.
     #[inline(always)]
     unsafe fn reduce(self) -> f32 {
         reduce8(self.0)
@@ -258,8 +344,11 @@ mod x86 {
     /// `f32` following the canonical tree: add the halves lane-wise, add the
     /// high 64 bits onto the low 64, then lane 1 onto lane 0 — i.e.
     /// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`, exactly [`super::reduce8`].
+    // SAFETY: register-only SSE shuffles/adds; SSE2 is x86_64 baseline, so
+    // callers need no extra ISA argument.
     #[inline(always)]
     unsafe fn reduce_halves(lo: __m128, hi: __m128) -> f32 {
+        // SAFETY: register-only SSE shuffles/adds (baseline ISA).
         unsafe {
             // s = [l0+l4, l1+l5, l2+l6, l3+l7]
             let s = _mm_add_ps(lo, hi);
@@ -278,61 +367,94 @@ mod x86 {
     pub(crate) struct Sse2V(__m128, __m128);
 
     impl F32x8 for Sse2V {
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn zero() -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_setzero_ps(), _mm_setzero_ps()) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn splat(v: f32) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_set1_ps(v), _mm_set1_ps(v)) }
         }
 
+        // SAFETY: reads the caller-guaranteed `src..src+8` span; SSE2 is
+        // x86_64 baseline.
         #[inline(always)]
         unsafe fn load(src: *const f32) -> Self {
+            // SAFETY: `movups` is alignment-free; `src..src+8` is readable.
             unsafe { Sse2V(_mm_loadu_ps(src), _mm_loadu_ps(src.add(4))) }
         }
 
+        // SAFETY: writes the caller-guaranteed `dst..dst+8` span; SSE2 is
+        // x86_64 baseline.
         #[inline(always)]
         unsafe fn store(self, dst: *mut f32) {
+            // SAFETY: `movups` is alignment-free; `dst..dst+8` is writable.
             unsafe {
                 _mm_storeu_ps(dst, self.0);
                 _mm_storeu_ps(dst.add(4), self.1);
             }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn add(self, rhs: Self) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_add_ps(self.0, rhs.0), _mm_add_ps(self.1, rhs.1)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn mul(self, rhs: Self) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_mul_ps(self.0, rhs.0), _mm_mul_ps(self.1, rhs.1)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn sub(self, rhs: Self) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_sub_ps(self.0, rhs.0), _mm_sub_ps(self.1, rhs.1)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn div(self, rhs: Self) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_div_ps(self.0, rhs.0), _mm_div_ps(self.1, rhs.1)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn max(self, rhs: Self) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_max_ps(self.0, rhs.0), _mm_max_ps(self.1, rhs.1)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn min(self, rhs: Self) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_min_ps(self.0, rhs.0), _mm_min_ps(self.1, rhs.1)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn trunc(self) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe {
                 Sse2V(
                     _mm_cvtepi32_ps(_mm_cvttps_epi32(self.0)),
@@ -341,30 +463,44 @@ mod x86 {
             }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn cmp_ge(self, rhs: Self) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_cmpge_ps(self.0, rhs.0), _mm_cmpge_ps(self.1, rhs.1)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn and(self, rhs: Self) -> Self {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { Sse2V(_mm_and_ps(self.0, rhs.0), _mm_and_ps(self.1, rhs.1)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn movemask(self) -> u32 {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { (_mm_movemask_ps(self.0) as u32) | ((_mm_movemask_ps(self.1) as u32) << 4) }
         }
 
+        // SAFETY: reads `idx..idx+8` and in-bounds `table` entries per the
+        // trait contract; SSE2 is x86_64 baseline.
         #[inline(always)]
         unsafe fn gather(table: &[f32], idx: *const u32) -> Self {
             // SSE2 has no gather instruction; eight scalar loads assembled
             // into lanes are bit-identical to a hardware gather by
             // construction.
             let t = |l: usize| -> f32 {
+                // SAFETY: `l < 8`, within the caller-guaranteed `idx` span.
                 let i = unsafe { *idx.add(l) } as usize;
+                // SAFETY: every gathered index is in bounds per the trait contract.
                 unsafe { *table.get_unchecked(i) }
             };
+            // SAFETY: register-only lane assembly from the loaded scalars.
             unsafe {
                 Sse2V(
                     _mm_set_ps(t(3), t(2), t(1), t(0)),
@@ -373,8 +509,11 @@ mod x86 {
             }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; SSE2 is part of the
+        // x86_64 baseline, so the intrinsics are always available here.
         #[inline(always)]
         unsafe fn reduce(self) -> f32 {
+            // SAFETY: register-only SSE2 lane ops (baseline ISA).
             unsafe { reduce_halves(self.0, self.1) }
         }
     }
@@ -386,91 +525,140 @@ mod x86 {
     pub(crate) struct Avx2V(__m256);
 
     impl F32x8 for Avx2V {
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn zero() -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_setzero_ps()) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn splat(v: f32) -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_set1_ps(v)) }
         }
 
+        // SAFETY: reads the caller-guaranteed `src..src+8` span; AVX2
+        // verified at dispatch.
         #[inline(always)]
         unsafe fn load(src: *const f32) -> Self {
+            // SAFETY: `vmovups` is alignment-free; `src..src+8` is readable.
             unsafe { Avx2V(_mm256_loadu_ps(src)) }
         }
 
+        // SAFETY: writes the caller-guaranteed `dst..dst+8` span; AVX2
+        // verified at dispatch.
         #[inline(always)]
         unsafe fn store(self, dst: *mut f32) {
+            // SAFETY: `vmovups` is alignment-free; `dst..dst+8` is writable.
             unsafe { _mm256_storeu_ps(dst, self.0) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn add(self, rhs: Self) -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_add_ps(self.0, rhs.0)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn mul(self, rhs: Self) -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_mul_ps(self.0, rhs.0)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn sub(self, rhs: Self) -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_sub_ps(self.0, rhs.0)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn div(self, rhs: Self) -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_div_ps(self.0, rhs.0)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn max(self, rhs: Self) -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_max_ps(self.0, rhs.0)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn min(self, rhs: Self) -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_min_ps(self.0, rhs.0)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn trunc(self) -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_cvtepi32_ps(_mm256_cvttps_epi32(self.0))) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn cmp_ge(self, rhs: Self) -> Self {
             // `_CMP_GE_OQ`: ordered, non-signaling — NaN lanes compare
             // false, same outcome as SSE2's `cmpgeps` on quiet NaNs.
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_cmp_ps::<_CMP_GE_OQ>(self.0, rhs.0)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn and(self, rhs: Self) -> Self {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { Avx2V(_mm256_and_ps(self.0, rhs.0)) }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn movemask(self) -> u32 {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe { _mm256_movemask_ps(self.0) as u32 }
         }
 
+        // SAFETY: reads `idx..idx+8` and in-bounds `table` entries per the
+        // trait contract; AVX2 verified at dispatch.
         #[inline(always)]
         unsafe fn gather(table: &[f32], idx: *const u32) -> Self {
             // `vgatherdps` reads the indices as *signed* i32; the dispatch
             // layer asserts `table.len() <= i32::MAX` so every valid index
             // stays non-negative.
+            // SAFETY: `idx..idx+8` is readable (unaligned load) and every index
+            // is in bounds, so the gather reads only inside `table`.
             unsafe {
                 let vindex: __m256i = _mm256_loadu_si256(idx as *const __m256i);
                 Avx2V(_mm256_i32gather_ps::<4>(table.as_ptr(), vindex))
             }
         }
 
+        // SAFETY: register-only lane arithmetic, no memory access; the dispatch layer
+        // verified AVX2 support before selecting this backend.
         #[inline(always)]
         unsafe fn reduce(self) -> f32 {
+            // SAFETY: register-only AVX2 lane ops; ISA verified at dispatch.
             unsafe {
                 reduce_halves(
                     _mm256_castps256_ps128(self.0),

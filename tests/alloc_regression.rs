@@ -27,16 +27,25 @@ thread_local! {
     static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
 }
 
+// SAFETY: pure pass-through to `System` — every GlobalAlloc contract
+// (layout validity, pointer provenance) is exactly the one `System`
+// already upholds; the counter bump touches only thread-local Cells and
+// never allocates or unwinds (`try_with`).
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards the caller's layout to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_one();
         System.alloc(layout)
     }
 
+    // SAFETY: forwards ptr/layout, which the caller obtained from `alloc`
+    // on this same allocator (i.e. from `System`), unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards ptr/layout/new_size from the caller's contract
+    // straight to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count_one();
         System.realloc(ptr, layout, new_size)
